@@ -1,0 +1,40 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each benchmark runs its experiment exactly once (the simulations are
+deterministic; repeated rounds would only multiply runtime), prints the
+figure's report table, and records headline numbers in ``extra_info`` so
+they survive into pytest-benchmark's JSON output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def run_once(benchmark, experiment, **kwargs):
+    """Run ``experiment(**kwargs)`` once under pytest-benchmark."""
+    return benchmark.pedantic(
+        lambda: experiment(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+
+def save_report(name: str, text: str) -> None:
+    """Persist a report table under ``benchmarks/reports/``."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit(benchmark, result) -> None:
+    """Print the paper-style report, persist it, and record it.
+
+    pytest captures stdout, so the table is also written to
+    ``benchmarks/reports/<benchmark-name>.txt`` where it survives a plain
+    ``pytest benchmarks/ --benchmark-only`` run.
+    """
+    report = result.report()
+    print()
+    print(report)
+    benchmark.extra_info["report"] = report
+    save_report(benchmark.name or "benchmark", report)

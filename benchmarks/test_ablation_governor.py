@@ -1,0 +1,73 @@
+"""Ablation: governor stability/responsiveness trade-off (Section III-B1).
+
+The delta-M inertia decides how quickly step sizes grow under a steady SAT
+signal.  Too little inertia lets the M limit-cycle swing wide (unstable
+rates, Section V-A's "appearance of instability"); enough inertia pins the
+rate near the ideal with small perturbations.  This ablation runs the
+Fig. 5 setup (two stream classes at 7:3) across inertia values and reports
+per-epoch share jitter and bandwidth utilization.
+"""
+
+import statistics
+
+from conftest import save_report
+
+from repro.analysis.report import format_table
+from repro.core.config import PabstConfig
+from repro.core.pabst import PabstMechanism
+from repro.experiments.common import ClassSpec, build_system, run_system
+from repro.workloads.stream import StreamWorkload
+
+INERTIAS = (2, 6, 10)
+TARGET_HI = 0.7
+
+
+def run_sweep():
+    rows = []
+    for inertia in INERTIAS:
+        specs = [
+            ClassSpec(0, "hi", weight=7, cores=4,
+                      workload_factory=StreamWorkload, l3_ways=8),
+            ClassSpec(1, "lo", weight=3, cores=4,
+                      workload_factory=StreamWorkload, l3_ways=8),
+        ]
+        mechanism = PabstMechanism(PabstConfig(inertia=inertia))
+        system = build_system(specs, mechanism=mechanism)
+        result = run_system(system, epochs=120, warmup_epochs=40)
+        shares = result.timeline.share_series(0)[40:]
+        multipliers = result.timeline.multiplier_series()[40:]
+        rows.append(
+            (
+                inertia,
+                result.share(0),
+                statistics.pstdev(shares),
+                min(multipliers),
+                max(multipliers),
+                result.total_utilization(),
+            )
+        )
+    return rows
+
+
+def test_ablation_governor_inertia(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1, warmup_rounds=0)
+    table = format_table(
+        ["inertia", "hi share", "share stdev", "M min", "M max", "utilization"],
+        rows,
+        title="Ablation - governor inertia (Fig. 5 setup, target hi=0.70)",
+    )
+    print()
+    print(table)
+    save_report("test_ablation_governor_inertia", table)
+    benchmark.extra_info["rows"] = rows
+
+    by_inertia = {row[0]: row for row in rows}
+    # all settings converge to the right mean share
+    for row in rows:
+        assert abs(row[1] - TARGET_HI) < 0.06
+    # low inertia swings M across a wider range than high inertia
+    swing = {inertia: row[4] - row[3] for inertia, *row_ in by_inertia.items()
+             for row in [by_inertia[inertia]]}
+    assert swing[2] > swing[10]
+    # and produces more epoch-to-epoch share jitter
+    assert by_inertia[2][2] > by_inertia[10][2] * 0.8

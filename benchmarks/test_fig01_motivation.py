@@ -1,0 +1,35 @@
+"""Fig. 1: source- vs target-only regulation on both workload mixes.
+
+Paper shape: the source regulator splits two streams accurately but fails
+on the chaser mix; the target regulator fails on the stream mix (queues
+oversubscribed) — neither suffices alone.
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig01_motivation
+
+
+def test_fig01_motivation(benchmark):
+    result = run_once(benchmark, fig01_motivation.run)
+    emit(benchmark, result)
+
+    col_a = result.column("a")  # source on streams
+    col_b = result.column("b")  # target on streams
+    col_c = result.column("c")  # source on chaser mix
+    col_d = result.column("d")  # target on chaser mix
+
+    benchmark.extra_info["errors"] = {
+        label: result.column(label).error for label in "abcd"
+    }
+
+    # (a) source regulation handles pure streams accurately
+    assert col_a.error < 0.15
+    # (b) target-only loses control once queues are oversubscribed
+    assert col_b.error > 3 * col_a.error
+    # (c) source-only cannot give a latency-bound class its share
+    assert col_c.error > 0.5
+    # (d) every regulator leaves residual error on the chaser mix, and the
+    # mixes separate the two failure modes (b fails streams, c fails chaser)
+    assert col_d.error > 0.2
+    assert col_b.hi_share < col_a.hi_share

@@ -1,0 +1,25 @@
+"""Fig. 5: proportional allocation of two stream classes at 7:3.
+
+Paper shape: observed bandwidth settles at the 70/30 split and stays there
+with only small perturbations.
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig05_proportional
+
+
+def test_fig05_proportional(benchmark):
+    result = run_once(benchmark, fig05_proportional.run)
+    emit(benchmark, result)
+    benchmark.extra_info["hi_share"] = result.hi_share
+    benchmark.extra_info["utilization"] = result.utilization
+
+    assert abs(result.hi_share - result.target_hi_share) < 0.05
+    assert abs(result.lo_share - (1 - result.target_hi_share)) < 0.05
+    # the system stays busy while enforcing the split
+    assert result.utilization > 0.6
+    # steady state: late-window epoch shares stay near the target
+    window = result.timeline.window(0, start=result.warmup_epochs)
+    assert window.min_share > 0.5
+    assert window.max_share < 0.9

@@ -1,0 +1,25 @@
+"""Fig. 8: proportional distribution of excess bandwidth.
+
+Paper shape: with an L3-resident class (25%) not using its allocation, the
+two DDR classes (50% / 25%) split the machine about 66% / 33% — each in
+proportion to its weight, 16% / 8% over its nominal share.
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig08_excess
+
+
+def test_fig08_excess(benchmark):
+    result = run_once(benchmark, fig08_excess.run)
+    emit(benchmark, result)
+    benchmark.extra_info["ddr_hi_share"] = result.ddr_hi_share_of_ddr
+    benchmark.extra_info["ddr_lo_share"] = result.ddr_lo_share_of_ddr
+
+    # the L3-resident class consumes (almost) no memory bandwidth
+    assert result.l3_share < 0.05
+    # excess redistributes 2:1, the paper's 66/33 split
+    assert abs(result.ddr_hi_share_of_ddr - 2 / 3) < 0.06
+    assert abs(result.ddr_lo_share_of_ddr - 1 / 3) < 0.06
+    # work conservation: the machine still runs near peak
+    assert result.utilization > 0.75

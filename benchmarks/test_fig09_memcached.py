@@ -1,0 +1,25 @@
+"""Fig. 9: memcached service-time distribution under co-location.
+
+Paper shape: a streaming neighbour inflates both mean and tail service
+times; PABST (20:1 share) nearly restores the isolated distribution.
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig09_memcached
+
+
+def test_fig09_memcached(benchmark):
+    result = run_once(benchmark, fig09_memcached.run)
+    emit(benchmark, result)
+    benchmark.extra_info["baseline_degradation"] = result.degradation(result.baseline)
+    benchmark.extra_info["pabst_degradation"] = result.degradation(result.pabst)
+
+    assert result.isolated.transactions > 50
+    # the aggressor visibly hurts the unprotected server
+    assert result.degradation(result.baseline) > 1.5
+    # PABST removes most of the mean degradation...
+    assert result.degradation(result.pabst) < 1.6
+    assert result.degradation(result.pabst) < result.degradation(result.baseline) - 0.4
+    # ...and pulls the tail back toward the isolated distribution
+    assert result.pabst.p99 < 0.75 * result.baseline.p99

@@ -1,0 +1,28 @@
+"""Fig. 10: weighted slowdown of SPEC proxies vs a streaming aggressor.
+
+Paper shape: without QoS the high-priority class slows ~2x on average;
+PABST holds it near ~1.2x, and the combined mechanism beats both halves on
+average (each half wins on the workloads matching its failure mode).
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig10_isolation
+
+
+def test_fig10_isolation(benchmark):
+    result = run_once(benchmark, fig10_isolation.run)
+    emit(benchmark, result)
+    means = {m: result.mean_slowdown(m) for m in fig10_isolation.MECHANISM_ORDER}
+    benchmark.extra_info["mean_slowdowns"] = means
+
+    # every workload suffers badly without QoS
+    assert means["none"] > 1.6
+    for row in result.rows:
+        assert row.slowdowns["none"] > 1.3
+    # PABST restores most of the isolated performance
+    assert means["pabst"] < 1.45
+    # and on average beats either half alone
+    assert means["pabst"] <= means["source-only"] + 0.02
+    assert means["pabst"] <= means["target-only"] + 0.02
+    assert means["none"] - means["pabst"] > 0.5

@@ -1,0 +1,34 @@
+"""Fig. 11: consolidated equal shares vs a static bandwidth partition.
+
+Paper shape: every SPEC workload runs 15-90% faster under PABST's
+work-conserving 25% shares than under a static 1/4-bandwidth reservation
+(emulated by DDR frequency scaled down 4x).
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig11_iaas
+
+
+def test_fig11_iaas(benchmark):
+    result = run_once(benchmark, fig11_iaas.run)
+    emit(benchmark, result)
+    benchmark.extra_info["speedups"] = {
+        row.workload: row.speedup for row in result.rows
+    }
+
+    assert result.rows
+    gainers = 0
+    for row in result.rows:
+        # work conservation may at worst cost the governor's probing
+        # overhead (the Fig. 12 efficiency price) for workloads that
+        # saturate their share continuously (see EXPERIMENTS.md)...
+        assert row.speedup > 0.85, row.workload
+        # ...and the gains stay in (roughly) the paper's band
+        assert row.speedup < 2.6, row.workload
+        if row.speedup > 1.10:
+            gainers += 1
+    # most workloads benefit substantially from excess redistribution
+    assert gainers >= len(result.rows) // 2 + 1
+    mean_speedup = sum(row.speedup for row in result.rows) / len(result.rows)
+    assert mean_speedup > 1.2

@@ -1,0 +1,24 @@
+"""Fig. 12: the memory-efficiency cost of bandwidth QoS.
+
+Paper shape: efficiency (data-bus busy over controller-active cycles) is
+high without QoS and drops once the governor and/or arbiter are enabled —
+the price of the priority schedule and of the governor's rate probing.
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig12_efficiency
+
+
+def test_fig12_efficiency(benchmark):
+    result = run_once(benchmark, fig12_efficiency.run)
+    emit(benchmark, result)
+    means = {m: result.mean_efficiency(m) for m in fig12_efficiency.MECHANISM_ORDER}
+    benchmark.extra_info["mean_efficiency"] = means
+
+    # the unregulated baseline keeps the bus busy
+    assert means["none"] > 0.8
+    # QoS costs efficiency (paper Section IV-F)
+    assert means["pabst"] < means["none"]
+    # but the loss stays moderate -- the controller is not crippled
+    assert means["pabst"] > 0.6

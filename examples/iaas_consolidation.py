@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""IaaS consolidation: four equal tenants with work-conserving shares
+(the Fig. 11 scenario at example scale).
+
+Four "virtual machines" each get a 25% bandwidth share on one consolidated
+host.  Because PABST is work conserving, a tenant whose neighbours idle
+gets their leftover bandwidth — so consolidation under PABST beats a hard
+static 25% reservation (emulated by running alone with DRAM clocked 4x
+slower).
+
+Run:  python examples/iaas_consolidation.py [--workload soplex] [--epochs 80]
+"""
+
+import argparse
+
+from repro import SPEC_PROFILES, SystemConfig, spec_workload, static_partition_config
+from repro.core.pabst import PabstMechanism
+from repro.experiments.common import ClassSpec, build_system, run_system
+
+TENANTS = 4
+CORES_PER_TENANT = 2
+
+
+def run_static(workload: str, epochs: int) -> float:
+    config = static_partition_config(
+        SystemConfig.default_experiment(cores=CORES_PER_TENANT, num_mcs=2), TENANTS
+    )
+    specs = [
+        ClassSpec(0, workload, weight=1, cores=CORES_PER_TENANT,
+                  workload_factory=lambda: spec_workload(workload))
+    ]
+    system = build_system(specs, config=config)
+    run_system(system, epochs=epochs, warmup_epochs=1)
+    return system.stats.ipc(0, system.engine.now) / CORES_PER_TENANT
+
+
+def run_consolidated(workload: str, epochs: int) -> list[float]:
+    specs = [
+        ClassSpec(tenant, f"vm{tenant}", weight=1, cores=CORES_PER_TENANT,
+                  workload_factory=lambda: spec_workload(workload), l3_ways=4)
+        for tenant in range(TENANTS)
+    ]
+    system = build_system(specs, mechanism=PabstMechanism())
+    run_system(system, epochs=epochs, warmup_epochs=1)
+    return [
+        system.stats.ipc(tenant, system.engine.now) / CORES_PER_TENANT
+        for tenant in range(TENANTS)
+    ]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workload", default="soplex", choices=sorted(SPEC_PROFILES),
+        help="workload every tenant runs (default: soplex)",
+    )
+    parser.add_argument("--epochs", type=int, default=80)
+    args = parser.parse_args()
+
+    static_ipc = run_static(args.workload, args.epochs)
+    tenant_ipcs = run_consolidated(args.workload, args.epochs)
+
+    print(f"Four '{args.workload}' tenants, 25% bandwidth share each\n")
+    print(f"static 1/4 reservation (run alone, DDR/4): {static_ipc:.3f} IPC/core")
+    for tenant, ipc in enumerate(tenant_ipcs):
+        gain = (ipc / static_ipc - 1.0) * 100 if static_ipc else 0.0
+        print(f"tenant vm{tenant} under PABST:                   "
+              f"{ipc:.3f} IPC/core  ({gain:+.0f}%)")
+    mean = sum(tenant_ipcs) / len(tenant_ipcs)
+    print(f"\nmean improvement from work conservation: "
+          f"{(mean / static_ipc - 1.0) * 100:+.0f}%")
+    print("Every tenant keeps its 25% floor, but bursts into bandwidth its")
+    print("neighbours are not using — the paper's IaaS use case (Fig. 11).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: partition memory bandwidth 3:1 between two streaming tenants.
+
+Builds an 8-core system with two QoS classes, runs it twice — once without
+any bandwidth QoS and once under PABST — and prints the bandwidth split
+each class actually observed.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    NoQosMechanism,
+    PabstMechanism,
+    QoSRegistry,
+    StreamWorkload,
+    System,
+    SystemConfig,
+)
+
+
+def build_registry() -> QoSRegistry:
+    """Two classes: 'prod' is entitled to 3x the bandwidth of 'batch'."""
+    registry = QoSRegistry()
+    registry.define_class(0, "prod", weight=3, l3_ways=8)
+    registry.define_class(1, "batch", weight=1, l3_ways=8)
+    for core in range(8):
+        registry.assign_core(core, 0 if core < 4 else 1)
+    return registry
+
+
+def run_once(mechanism, seed: int = 0):
+    config = SystemConfig.default_experiment(cores=8, num_mcs=2)
+    workloads = {core: StreamWorkload() for core in range(8)}
+    system = System(config, build_registry(), workloads, mechanism=mechanism, seed=seed)
+    system.run_epochs(100)
+    system.finalize()
+    return system
+
+
+def describe(label: str, system) -> None:
+    stats = system.stats
+    prod = stats.bandwidth_share(0)
+    batch = stats.bandwidth_share(1)
+    total = stats.total_bytes() / system.engine.now
+    print(f"{label}")
+    print(f"  prod  share: {prod:5.1%}   (entitled 75%)")
+    print(f"  batch share: {batch:5.1%}   (entitled 25%)")
+    print(f"  total bandwidth: {total:.1f} B/cycle "
+          f"({total / system.config.peak_bandwidth:.0%} of peak)")
+
+
+def main() -> None:
+    print("PABST quickstart: two streaming tenants, 3:1 shares\n")
+    describe("Without bandwidth QoS (FR-FCFS only):", run_once(NoQosMechanism()))
+    print()
+    describe("With PABST:", run_once(PabstMechanism()))
+    print("\nPABST throttles the over-consuming class at its source and")
+    print("prioritizes the under-served class at the memory controller,")
+    print("so observed bandwidth tracks the configured 3:1 split.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Analysis: metrics, bandwidth timelines, and text reports."""
+
+from repro.analysis.attribution import (
+    LatencyAttribution,
+    attribute_latency,
+    attribution_table,
+)
+from repro.analysis.metrics import (
+    allocation_error,
+    bandwidth_shares,
+    percentile,
+    share_error_per_class,
+    weighted_slowdown,
+)
+from repro.analysis.report import format_series, format_table, sparkline
+from repro.analysis.timeline import BandwidthTimeline, WindowSummary
+
+__all__ = [
+    "BandwidthTimeline", "LatencyAttribution", "WindowSummary", "allocation_error", "attribute_latency", "attribution_table",
+    "bandwidth_shares", "format_series", "format_table", "percentile",
+    "share_error_per_class", "sparkline", "weighted_slowdown",
+]

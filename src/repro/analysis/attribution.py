@@ -1,0 +1,91 @@
+"""Latency attribution: where a class's DRAM-read latency comes from.
+
+Decomposes mean read latency (measured from L2 miss to data leaving the
+controller) into the four stages of the request path:
+
+* **pacer** — time spent throttled at the source governor;
+* **noc** — interconnect and L3-slice traversal to the controller,
+  including any wait outside a full front-end queue;
+* **queue** — front-end queueing at the controller until the bank access
+  begins (what the priority arbiter reduces for favoured classes);
+* **service** — bank prep plus the data burst.
+
+This is the breakdown that explains every PABST result: source-only
+regulation moves latency into *pacer*, target-only removes *queue* for
+high-priority classes, and the combination shortens queues for everyone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.sim.stats import Stats
+
+__all__ = ["LatencyAttribution", "attribute_latency"]
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyAttribution:
+    """Mean per-stage read latency for one QoS class (cycles)."""
+
+    qos_id: int
+    reads: int
+    pacer: float
+    noc: float
+    queue: float
+    service: float
+
+    @property
+    def total(self) -> float:
+        return self.pacer + self.noc + self.queue + self.service
+
+    def fraction(self, stage: str) -> float:
+        """Share of total latency spent in ``stage``."""
+        value = getattr(self, stage)
+        if self.total == 0:
+            return 0.0
+        return value / self.total
+
+
+def attribute_latency(stats: Stats, qos_id: int) -> LatencyAttribution:
+    """Per-stage mean latency for a class from its cumulative counters."""
+    cls = stats.class_stats(qos_id)
+    count = cls.reads_attributed
+    if count == 0:
+        return LatencyAttribution(
+            qos_id=qos_id, reads=0, pacer=0.0, noc=0.0, queue=0.0, service=0.0
+        )
+    return LatencyAttribution(
+        qos_id=qos_id,
+        reads=count,
+        pacer=cls.stage_pacer_sum / count,
+        noc=cls.stage_noc_sum / count,
+        queue=cls.stage_queue_sum / count,
+        service=cls.stage_service_sum / count,
+    )
+
+
+def attribution_table(stats: Stats, title: str | None = None) -> str:
+    """Formatted per-class latency breakdown for every class with reads."""
+    rows = []
+    for qos_id in sorted(stats.classes):
+        attribution = attribute_latency(stats, qos_id)
+        if attribution.reads == 0:
+            continue
+        rows.append(
+            (
+                qos_id,
+                attribution.reads,
+                attribution.pacer,
+                attribution.noc,
+                attribution.queue,
+                attribution.service,
+                attribution.total,
+            )
+        )
+    return format_table(
+        ["class", "reads", "pacer", "noc", "queue", "service", "total"],
+        rows,
+        title=title or "Mean DRAM-read latency by stage (cycles)",
+    )

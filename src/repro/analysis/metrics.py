@@ -1,0 +1,96 @@
+"""Metrics the paper reports.
+
+* allocation error — how far observed bandwidth shares are from the
+  configured proportional shares (Figs. 1, 5, 7, 8);
+* weighted slowdown — Eq. 6, the inverse of weighted speedup (Fig. 10);
+* percentile helpers for service-time distributions (Fig. 9);
+* memory efficiency lives on :class:`repro.sim.stats.Stats` (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "allocation_error",
+    "bandwidth_shares",
+    "percentile",
+    "share_error_per_class",
+    "weighted_slowdown",
+]
+
+
+def bandwidth_shares(bytes_by_class: Mapping[int, int]) -> dict[int, float]:
+    """Normalize per-class byte counts into shares summing to 1."""
+    total = sum(bytes_by_class.values())
+    if total <= 0:
+        return {qos_id: 0.0 for qos_id in bytes_by_class}
+    return {qos_id: count / total for qos_id, count in bytes_by_class.items()}
+
+
+def allocation_error(
+    observed_bytes: Mapping[int, int], weights: Mapping[int, float]
+) -> float:
+    """Worst-case relative deviation of observed shares from entitled shares.
+
+    This is the "allocation error" shown in Fig. 1: 0 means the observed
+    split matches the weights exactly; 1 means some class observed nothing
+    of its entitlement.
+    """
+    if set(observed_bytes) != set(weights):
+        raise ValueError("observed classes and weights must match")
+    total_weight = float(sum(weights.values()))
+    if total_weight <= 0:
+        raise ValueError("total weight must be positive")
+    observed = bandwidth_shares(observed_bytes)
+    worst = 0.0
+    for qos_id, weight in weights.items():
+        entitled = weight / total_weight
+        worst = max(worst, abs(observed[qos_id] - entitled) / entitled)
+    return worst
+
+
+def share_error_per_class(
+    observed_bytes: Mapping[int, int], weights: Mapping[int, float]
+) -> dict[int, float]:
+    """Signed relative error per class (positive = above entitlement)."""
+    total_weight = float(sum(weights.values()))
+    observed = bandwidth_shares(observed_bytes)
+    return {
+        qos_id: (observed.get(qos_id, 0.0) - weight / total_weight)
+        / (weight / total_weight)
+        for qos_id, weight in weights.items()
+    }
+
+
+def weighted_slowdown(
+    isolated_ipc: Sequence[float], shared_ipc: Sequence[float]
+) -> float:
+    """Eq. 6: inverse of weighted speedup over N co-running copies.
+
+        WeightedSlowdown = N / sum_i (IPC_i^MP / IPC_i^SP)
+
+    1.0 means no interference; 2.0 means each copy effectively ran at half
+    its isolated speed.
+    """
+    if len(isolated_ipc) != len(shared_ipc) or not isolated_ipc:
+        raise ValueError("need matching, non-empty IPC vectors")
+    speedup = 0.0
+    for iso, shared in zip(isolated_ipc, shared_ipc):
+        if iso <= 0:
+            raise ValueError("isolated IPC must be positive")
+        speedup += shared / iso
+    if speedup <= 0:
+        raise ValueError("shared IPC must not be all zero")
+    return len(isolated_ipc) / speedup
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Percentile of a sample list (q in [0, 100]); 0.0 for empty input."""
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    if len(samples) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(samples, dtype=float), q))

@@ -1,0 +1,63 @@
+"""Plain-text rendering of experiment results.
+
+Every benchmark prints the rows/series the corresponding paper figure
+shows; these helpers keep that output consistent and terminal-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_series", "format_table", "sparkline"]
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must match the header width")
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def sparkline(values: Sequence[float], lo: float = 0.0, hi: float = 1.0) -> str:
+    """One-character-per-sample trace for timeline figures."""
+    if hi <= lo:
+        raise ValueError("need hi > lo")
+    chars = []
+    span = hi - lo
+    top = len(_SPARK_LEVELS) - 1
+    for value in values:
+        norm = (min(max(value, lo), hi) - lo) / span
+        chars.append(_SPARK_LEVELS[round(norm * top)])
+    return "".join(chars)
+
+
+def format_series(
+    label: str, values: Sequence[float], lo: float = 0.0, hi: float = 1.0
+) -> str:
+    """A labelled sparkline with its min/mean/max."""
+    if len(values) == 0:
+        return f"{label}: (no samples)"
+    mean = sum(values) / len(values)
+    return (
+        f"{label:>14s} |{sparkline(values, lo, hi)}| "
+        f"min={min(values):.2f} mean={mean:.2f} max={max(values):.2f}"
+    )

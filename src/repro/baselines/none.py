@@ -1,0 +1,16 @@
+"""Unregulated baseline: FR-FCFS scheduling, no source throttling.
+
+This is the "no QoS support" configuration of Figs. 9, 10, and 12.
+"""
+
+from __future__ import annotations
+
+from repro.sim.mechanism import QoSMechanism
+
+__all__ = ["NoQosMechanism"]
+
+
+class NoQosMechanism(QoSMechanism):
+    """Explicit alias of the do-nothing mechanism, for experiment tables."""
+
+    name = "none"

@@ -1,0 +1,21 @@
+"""Source-only regulation: the PABST governor without the target arbiter.
+
+This is the representative source-based throttler of Fig. 1 (columns a/c)
+and the "governor only" ablation of Figs. 10 and 12.  It controls request
+*rates* but cannot lower queueing latency at the controller, so it fails on
+latency-sensitive workloads (Fig. 1c).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PabstConfig
+from repro.core.pabst import PabstMechanism
+
+__all__ = ["SourceOnlyMechanism"]
+
+
+class SourceOnlyMechanism(PabstMechanism):
+    """Governor + pacer at every source; baseline FR-FCFS at the target."""
+
+    def __init__(self, config: PabstConfig | None = None) -> None:
+        super().__init__(config=config, enable_governor=True, enable_arbiter=False)

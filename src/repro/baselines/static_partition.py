@@ -1,0 +1,25 @@
+"""Static bandwidth partition baseline (Fig. 11).
+
+The paper approximates a hard 1/N bandwidth reservation by running the
+workload in isolation with DRAM frequency scaled down N times.  This module
+builds that configuration so the IaaS experiment can compare PABST's
+work-conserving equal shares against a static split.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import SystemConfig
+
+__all__ = ["static_partition_config"]
+
+
+def static_partition_config(config: SystemConfig, share_divisor: int) -> SystemConfig:
+    """Config emulating a static ``1/share_divisor`` bandwidth allocation.
+
+    All DRAM timings stretch by the divisor, which scales peak bandwidth
+    down while leaving core-side behaviour untouched — the paper's recipe
+    for the Fig. 11 baseline.
+    """
+    if share_divisor < 1:
+        raise ValueError("share_divisor must be >= 1")
+    return config.with_dram(config.dram.frequency_scaled(share_divisor))

@@ -1,0 +1,22 @@
+"""Target-only regulation: priority arbitration without source throttling.
+
+This is the representative target-based scheme of Fig. 1 (columns b/d) —
+an FQM-style [26] fair scheduler — and the "arbiter only" ablation of
+Figs. 10 and 12.  It can only reorder the requests that fit in the MC
+front-end queues; once the system floods them, excess requests wait outside
+where priorities do not apply (Fig. 1b).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PabstConfig
+from repro.core.pabst import PabstMechanism
+
+__all__ = ["TargetOnlyMechanism"]
+
+
+class TargetOnlyMechanism(PabstMechanism):
+    """Virtual-deadline arbiter at every MC; sources run unthrottled."""
+
+    def __init__(self, config: PabstConfig | None = None) -> None:
+        super().__init__(config=config, enable_governor=False, enable_arbiter=True)

@@ -1,0 +1,203 @@
+"""Set-associative cache with write-back, write-allocate semantics.
+
+The model tracks, per line, the owning QoS class (for occupancy monitoring
+and writeback attribution) and a dirty bit.  It is purely functional with
+respect to time: latency is applied by the system layer, which lets the same
+class model the private L2 and the shared, partitioned L3 slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.partition import WayPartition
+from repro.cache.replacement import make_policy
+
+__all__ = ["CacheLine", "LookupResult", "SetAssociativeCache"]
+
+
+@dataclass(slots=True)
+class CacheLine:
+    """One resident line.  ``line_addr`` is the full line-aligned address."""
+
+    line_addr: int
+    qos_id: int
+    dirty: bool = False
+    valid: bool = True
+
+
+@dataclass(slots=True)
+class LookupResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    victim: CacheLine | None = None
+
+    @property
+    def dirty_eviction(self) -> bool:
+        return self.victim is not None and self.victim.dirty
+
+
+class SetAssociativeCache:
+    """A write-back, write-allocate set-associative cache.
+
+    Parameters
+    ----------
+    num_sets, assoc, line_bytes:
+        Geometry.  ``num_sets`` must be a power of two (index by masking).
+    partition:
+        Optional :class:`WayPartition` restricting which ways each QoS class
+        may allocate into.  Hits in any way still count (CAT semantics).
+    replacement:
+        Policy name understood by :func:`repro.cache.replacement.make_policy`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_sets: int,
+        assoc: int,
+        line_bytes: int = 64,
+        partition: WayPartition | None = None,
+        replacement: str = "lru",
+        seed: int = 0,
+    ) -> None:
+        if num_sets <= 0 or num_sets & (num_sets - 1):
+            raise ValueError(f"num_sets must be a power of two, got {num_sets}")
+        if assoc <= 0:
+            raise ValueError(f"assoc must be positive, got {assoc}")
+        if partition is not None and partition.assoc != assoc:
+            raise ValueError("partition assoc does not match cache assoc")
+        self.name = name
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self._line_shift = line_bytes.bit_length() - 1
+        self._set_mask = num_sets - 1
+        self.partition = partition
+        self._policy = make_policy(replacement, num_sets, assoc, seed)
+        self._ways: list[list[CacheLine | None]] = [
+            [None] * assoc for _ in range(num_sets)
+        ]
+        # statistics
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    # ------------------------------------------------------------------
+    # address helpers
+    # ------------------------------------------------------------------
+    def line_addr(self, addr: int) -> int:
+        return (addr >> self._line_shift) << self._line_shift
+
+    def set_index(self, addr: int) -> int:
+        return (addr >> self._line_shift) & self._set_mask
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_sets * self.assoc * self.line_bytes
+
+    # ------------------------------------------------------------------
+    # access paths
+    # ------------------------------------------------------------------
+    def probe(self, addr: int) -> bool:
+        """Non-destructive presence check (no recency update)."""
+        return self._find(addr)[1] is not None
+
+    def access(self, addr: int, is_write: bool, qos_id: int, allocate: bool = True) -> LookupResult:
+        """Perform a demand access.
+
+        On a miss with ``allocate=True`` the line is filled and a victim may
+        be returned; a dirty victim means the caller must emit a writeback.
+        """
+        set_index, way = self._find(addr)
+        if way is not None:
+            line = self._ways[set_index][way]
+            assert line is not None
+            if is_write:
+                line.dirty = True
+            self._policy.on_access(set_index, way)
+            self.hits += 1
+            return LookupResult(hit=True)
+        self.misses += 1
+        if not allocate:
+            return LookupResult(hit=False)
+        victim = self._fill(set_index, self.line_addr(addr), qos_id, dirty=is_write)
+        return LookupResult(hit=False, victim=victim)
+
+    def fill(self, addr: int, qos_id: int, dirty: bool = False) -> CacheLine | None:
+        """Install a line without counting a demand access (e.g. writeback)."""
+        set_index, way = self._find(addr)
+        if way is not None:
+            line = self._ways[set_index][way]
+            assert line is not None
+            line.dirty = line.dirty or dirty
+            self._policy.on_access(set_index, way)
+            return None
+        return self._fill(set_index, self.line_addr(addr), qos_id, dirty)
+
+    def invalidate(self, addr: int) -> CacheLine | None:
+        """Remove a line; returns it (so dirty data can be written back)."""
+        set_index, way = self._find(addr)
+        if way is None:
+            return None
+        line = self._ways[set_index][way]
+        self._ways[set_index][way] = None
+        return line
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _find(self, addr: int) -> tuple[int, int | None]:
+        line_addr = self.line_addr(addr)
+        set_index = self.set_index(addr)
+        for way, line in enumerate(self._ways[set_index]):
+            if line is not None and line.line_addr == line_addr:
+                return set_index, way
+        return set_index, None
+
+    def _fill(self, set_index: int, line_addr: int, qos_id: int, dirty: bool) -> CacheLine | None:
+        ways = self._ways[set_index]
+        allowed = (
+            self.partition.allowed_ways(qos_id)
+            if self.partition is not None
+            else range(self.assoc)
+        )
+        victim_line: CacheLine | None = None
+        target_way: int | None = None
+        for way in allowed:
+            if ways[way] is None:
+                target_way = way
+                break
+        if target_way is None:
+            candidates = list(allowed)
+            if not candidates:
+                raise ValueError(f"QoS class {qos_id} has no ways in {self.name}")
+            target_way = self._policy.victim(set_index, candidates)
+            victim_line = ways[target_way]
+            self.evictions += 1
+            if victim_line is not None and victim_line.dirty:
+                self.dirty_evictions += 1
+        ways[target_way] = CacheLine(line_addr=line_addr, qos_id=qos_id, dirty=dirty)
+        self._policy.on_access(set_index, target_way)
+        return victim_line
+
+    # ------------------------------------------------------------------
+    # monitoring
+    # ------------------------------------------------------------------
+    def occupancy_by_class(self) -> dict[int, int]:
+        """Resident line count per QoS class (for CMT-style monitoring)."""
+        counts: dict[int, int] = {}
+        for ways in self._ways:
+            for line in ways:
+                if line is not None:
+                    counts[line.qos_id] = counts.get(line.qos_id, 0) + 1
+        return counts
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.misses / total

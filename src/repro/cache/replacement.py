@@ -1,0 +1,65 @@
+"""Replacement policies for the set-associative cache model.
+
+Victim selection always receives the subset of ways the requesting QoS class
+may allocate into (way-based partitioning, Section II-B), so policies never
+need to know about partitions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LruPolicy", "RandomPolicy", "ReplacementPolicy", "make_policy"]
+
+
+class ReplacementPolicy(ABC):
+    """Chooses a victim way and tracks recency metadata."""
+
+    @abstractmethod
+    def on_access(self, set_index: int, way: int) -> None:
+        """Record a hit or fill touching ``way`` of ``set_index``."""
+
+    @abstractmethod
+    def victim(self, set_index: int, candidate_ways: Sequence[int]) -> int:
+        """Pick the way to evict among ``candidate_ways`` (all valid)."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """True LRU via per-line last-access stamps."""
+
+    def __init__(self, num_sets: int, assoc: int) -> None:
+        self._stamps = np.zeros((num_sets, assoc), dtype=np.int64)
+        self._clock = 0
+
+    def on_access(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._stamps[set_index, way] = self._clock
+
+    def victim(self, set_index: int, candidate_ways: Sequence[int]) -> int:
+        stamps = self._stamps[set_index]
+        return min(candidate_ways, key=lambda way: stamps[way])
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim; useful as a property-test foil for LRU."""
+
+    def __init__(self, num_sets: int, assoc: int, seed: int = 0) -> None:
+        self._rng = np.random.Generator(np.random.PCG64(seed))
+
+    def on_access(self, set_index: int, way: int) -> None:  # noqa: ARG002
+        return None
+
+    def victim(self, set_index: int, candidate_ways: Sequence[int]) -> int:
+        return candidate_ways[int(self._rng.integers(len(candidate_ways)))]
+
+
+def make_policy(name: str, num_sets: int, assoc: int, seed: int = 0) -> ReplacementPolicy:
+    """Factory used by :class:`repro.cache.cache.SetAssociativeCache`."""
+    if name == "lru":
+        return LruPolicy(num_sets, assoc)
+    if name == "random":
+        return RandomPolicy(num_sets, assoc, seed)
+    raise ValueError(f"unknown replacement policy {name!r}")

@@ -1,0 +1,149 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig05 [--quick] [--seed N]
+    python -m repro run-all [--quick]
+    python -m repro info
+
+Each experiment prints the same report table/series its benchmark asserts
+against; see EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    fig01_motivation,
+    fig05_proportional,
+    fig06_work_conserving,
+    fig07_source_and_target,
+    fig08_excess,
+    fig09_memcached,
+    fig10_isolation,
+    fig11_iaas,
+    fig12_efficiency,
+)
+
+__all__ = ["EXPERIMENTS", "main"]
+
+EXPERIMENTS: dict[str, tuple[Callable, str]] = {
+    "fig01": (fig01_motivation.run,
+              "source- vs target-only regulation on both mixes"),
+    "fig05": (fig05_proportional.run,
+              "proportional allocation: two stream classes at 7:3"),
+    "fig06": (fig06_work_conserving.run,
+              "work conservation with a phase-alternating streamer"),
+    "fig07": (fig07_source_and_target.run,
+              "PABST vs its source-only and target-only halves"),
+    "fig08": (fig08_excess.run,
+              "proportional redistribution of unused bandwidth"),
+    "fig09": (fig09_memcached.run,
+              "memcached service-time distribution under co-location"),
+    "fig10": (fig10_isolation.run,
+              "SPEC weighted slowdown vs a streaming aggressor"),
+    "fig11": (fig11_iaas.run,
+              "IaaS consolidation vs a static bandwidth partition"),
+    "fig12": (fig12_efficiency.run,
+              "memory-efficiency cost of bandwidth QoS"),
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (_, description) in EXPERIMENTS.items():
+        print(f"{name:<{width}}  {description}")
+    return 0
+
+
+def _run_experiment(name: str, quick: bool, seed: int) -> None:
+    runner, description = EXPERIMENTS[name]
+    mode = "quick" if quick else "full"
+    print(f"== {name} ({mode}): {description}")
+    started = time.perf_counter()
+    result = runner(quick=quick, seed=seed)
+    elapsed = time.perf_counter() - started
+    print(result.report())
+    print(f"[{elapsed:.1f}s]")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        print(f"unknown experiment {args.experiment!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    _run_experiment(args.experiment, args.quick, args.seed)
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    for index, name in enumerate(EXPERIMENTS):
+        if index:
+            print()
+        _run_experiment(name, args.quick, args.seed)
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    from repro import SPEC_PROFILES, SystemConfig, __version__
+
+    config = SystemConfig.default_experiment()
+    paper = SystemConfig.paper_32core()
+    print(f"repro {__version__} - PABST (HPCA 2017) reproduction")
+    print()
+    print("default experiment machine:")
+    print(f"  cores={config.cores}  mcs={config.num_mcs}  "
+          f"peak={config.peak_bandwidth:.0f} B/cycle  "
+          f"epoch={config.epoch_cycles} cycles")
+    print("paper Table III machine:")
+    print(f"  cores={paper.cores}  mcs={paper.num_mcs}  "
+          f"peak={paper.peak_bandwidth:.0f} B/cycle  "
+          f"epoch={paper.epoch_cycles} cycles")
+    print()
+    print("SPEC CPU2006 proxies:", ", ".join(sorted(SPEC_PROFILES)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the PABST (HPCA 2017) evaluation figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment name, e.g. fig05")
+    run.add_argument("--quick", action="store_true",
+                     help="reduced scale (seconds instead of minutes)")
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
+    run_all = sub.add_parser("run-all", help="run every experiment")
+    run_all.add_argument("--quick", action="store_true")
+    run_all.add_argument("--seed", type=int, default=0)
+    run_all.set_defaults(func=_cmd_run_all)
+
+    sub.add_parser("info", help="show machine presets and workloads").set_defaults(
+        func=_cmd_info
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""PABST mechanism: governor, rate generation, pacer, arbiter, saturation."""
+
+from repro.core.arbiter import PriorityArbiter
+from repro.core.config import PabstConfig
+from repro.core.governor import Governor, SystemMonitor
+from repro.core.pabst import PabstMechanism
+from repro.core.pacer import Pacer
+from repro.core.saturation import SaturationMonitor
+
+__all__ = [
+    "Governor", "PabstConfig", "PabstMechanism", "Pacer",
+    "PriorityArbiter", "SaturationMonitor", "SystemMonitor",
+]

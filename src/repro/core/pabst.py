@@ -1,0 +1,253 @@
+"""PABST: the integrated mechanism (Section III).
+
+``PabstMechanism`` plugs the two halves into a simulated system:
+
+* a :class:`~repro.core.governor.Governor` + :class:`~repro.core.pacer.Pacer`
+  pair behind every L2 cache (the source), and
+* a :class:`~repro.core.arbiter.PriorityArbiter` in every memory controller
+  (the target).
+
+The system delivers the epoch heartbeat and the wired-OR SAT signal
+(Section III-D assumes dedicated wires; simulator wiring is exactly that
+behaviour), and routes release/response hooks to the right pacer.
+
+The ablations the paper evaluates are the same object with one half
+disabled — see :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.arbiter import PriorityArbiter
+from repro.core.config import PabstConfig
+from repro.core.governor import Governor
+from repro.core.pacer import Pacer
+from repro.dram.schedulers import SchedulingPolicy
+from repro.sim.mechanism import QoSMechanism
+from repro.sim.records import MemoryRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.system import System
+
+__all__ = ["PabstMechanism"]
+
+
+class PabstMechanism(QoSMechanism):
+    """Source governor + target arbiter, individually switchable."""
+
+    def __init__(
+        self,
+        config: PabstConfig | None = None,
+        enable_governor: bool = True,
+        enable_arbiter: bool = True,
+    ) -> None:
+        self.config = config if config is not None else PabstConfig()
+        self.enable_governor = enable_governor
+        self.enable_arbiter = enable_arbiter
+        if enable_governor and enable_arbiter:
+            self.name = "pabst"
+        elif enable_governor:
+            self.name = "source-only"
+        elif enable_arbiter:
+            self.name = "target-only"
+        else:
+            self.name = "none"
+        self.governors: dict[int, Governor] = {}
+        self.pacers: dict[int, Pacer] = {}
+        # per-controller mode (Section III-C1 alternative): keyed (core, mc)
+        self.mc_governors: dict[tuple[int, int], Governor] = {}
+        self.mc_pacers: dict[tuple[int, int], Pacer] = {}
+        self.arbiters: dict[int, PriorityArbiter] = {}
+        self._registry = None
+        self._address_map = None
+        self._wb_rr: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # QoSMechanism interface
+    # ------------------------------------------------------------------
+    def attach(self, system: "System") -> None:
+        registry = system.registry
+        self._registry = registry
+        self._address_map = system.address_map
+        f_scale = (
+            self.config.f_scale
+            if self.config.f_scale is not None
+            else registry.stride_scale
+        )
+        if self.enable_governor and self.config.per_controller_governors:
+            for core_id, core in system.cores.items():
+                for mc_id in range(system.config.num_mcs):
+                    pacer = Pacer(
+                        system.engine,
+                        f_scale,
+                        burst_requests=self.config.burst_requests,
+                    )
+                    governor = Governor(
+                        core_id=core_id,
+                        qos_id=core.qos_id,
+                        registry=registry,
+                        config=self.config,
+                        pacer=pacer,
+                    )
+                    pacer.set_period(governor.source_period_numerator())
+                    self.mc_pacers[(core_id, mc_id)] = pacer
+                    self.mc_governors[(core_id, mc_id)] = governor
+        elif self.enable_governor:
+            for core_id, core in system.cores.items():
+                pacer = Pacer(
+                    system.engine, f_scale, burst_requests=self.config.burst_requests
+                )
+                governor = Governor(
+                    core_id=core_id,
+                    qos_id=core.qos_id,
+                    registry=registry,
+                    config=self.config,
+                    pacer=pacer,
+                )
+                pacer.set_period(governor.source_period_numerator())
+                self.pacers[core_id] = pacer
+                self.governors[core_id] = governor
+        if self.enable_arbiter:
+            slack = self.config.arbiter_slack_strides * registry.stride_scale
+            for controller in system.controllers:
+                self.arbiters[controller.mc_id] = PriorityArbiter(
+                    registry,
+                    slack=slack,
+                    row_hits_first=self.config.row_hits_first,
+                )
+
+    def mc_policy(self, mc_id: int) -> SchedulingPolicy | None:
+        return self.arbiters.get(mc_id)
+
+    def _pacer_for(self, core_id: int, addr: int) -> Pacer | None:
+        if self.mc_pacers:
+            assert self._address_map is not None
+            return self.mc_pacers.get((core_id, self._address_map.mc_of(addr)))
+        return self.pacers.get(core_id)
+
+    def request_release(
+        self, core_id: int, req: MemoryRequest, release: Callable[[], None]
+    ) -> None:
+        pacer = self._pacer_for(core_id, req.addr)
+        if pacer is None:
+            release()
+        else:
+            pacer.request(req, release)
+
+    def on_response(self, core_id: int, req: MemoryRequest) -> None:
+        pacer = self._pacer_for(core_id, req.addr)
+        if pacer is None:
+            return
+        if req.l3_hit:
+            pacer.uncharge()
+        elif req.caused_writeback:
+            pacer.charge_writeback()
+
+    def charge_class_writeback(self, qos_id: int) -> None:
+        """Owner accounting: charge one of the owning class's pacers.
+
+        Charges rotate round-robin across the class's cores so no single
+        thread absorbs all of the class's writeback budget.
+        """
+        if not self.enable_governor or self._registry is None:
+            return
+        cores = self._registry.cores_in_class(qos_id)
+        if self.mc_pacers:
+            candidates = [
+                key for key in sorted(self.mc_pacers) if key[0] in cores
+            ]
+            if not candidates:
+                return
+            index = self._wb_rr.get(qos_id, 0) % len(candidates)
+            self._wb_rr[qos_id] = index + 1
+            self.mc_pacers[candidates[index]].charge_writeback()
+            return
+        candidates = [c for c in cores if c in self.pacers]
+        if not candidates:
+            return
+        index = self._wb_rr.get(qos_id, 0) % len(candidates)
+        self._wb_rr[qos_id] = index + 1
+        self.pacers[candidates[index]].charge_writeback()
+
+    def on_epoch(
+        self, saturated: bool, per_mc: tuple[bool, ...] | None = None
+    ) -> None:
+        if self.mc_governors:
+            for (core_id, mc_id), governor in self.mc_governors.items():
+                signal = (
+                    per_mc[mc_id] if per_mc is not None and mc_id < len(per_mc)
+                    else saturated
+                )
+                governor.on_epoch(signal)
+            return
+        for governor in self.governors.values():
+            governor.on_epoch(saturated)
+        if self.governors and self.config.thread_scaling == "demand":
+            self._rescale_periods_by_demand()
+
+    def _rescale_periods_by_demand(self) -> None:
+        """Section V-B extension: weight Eq. 4 by per-thread demand.
+
+        The paper's mechanism splits a class's allocation evenly across its
+        active threads; a class with one busy and one quiet thread then
+        strands half its share at the busy thread's pacer.  This variant
+        replaces the even split with last-epoch demand weights while
+        preserving the class's total rate:
+
+            period_i = class_period x (total_demand / demand_i)
+
+        A thread's period never exceeds ``IDLE_PERIOD_FACTOR`` times its
+        even-split value, so an idle thread can always restart.
+        """
+        assert self._registry is not None
+        IDLE_PERIOD_FACTOR = 16
+        by_class: dict[int, list[Governor]] = {}
+        for governor in self.governors.values():
+            by_class.setdefault(governor.qos_id, []).append(governor)
+        for qos_id, governors in by_class.items():
+            demands = {
+                g.core_id: g.pacer.take_epoch_demand() for g in governors
+            }
+            total = sum(demands.values())
+            threads = len(governors)
+            if total == 0:
+                continue  # keep the even split this epoch
+            stride = self._registry.stride(qos_id)
+            for governor in governors:
+                m = governor.multiplier
+                even_num = m * stride * threads
+                demand = demands[governor.core_id]
+                if demand == 0:
+                    num = even_num * IDLE_PERIOD_FACTOR
+                else:
+                    num = min(
+                        (m * stride * total) // demand,
+                        even_num * IDLE_PERIOD_FACTOR,
+                    )
+                governor.pacer.set_period(num)
+
+    def multiplier(self) -> int:
+        for governor in self.governors.values():
+            return governor.multiplier
+        for governor in self.mc_governors.values():
+            return governor.multiplier
+        return -1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def multipliers_agree(self) -> bool:
+        """The lockstep invariant: same inputs give the same M everywhere.
+
+        In the global-OR design every governor agrees; in the
+        per-controller design governors agree *within* each controller's
+        group (each group sees its own SAT stream).
+        """
+        if self.mc_governors:
+            by_mc: dict[int, set[int]] = {}
+            for (core_id, mc_id), governor in self.mc_governors.items():
+                by_mc.setdefault(mc_id, set()).add(governor.multiplier)
+            return all(len(values) <= 1 for values in by_mc.values())
+        values = {governor.multiplier for governor in self.governors.values()}
+        return len(values) <= 1

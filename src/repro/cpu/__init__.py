@@ -1,0 +1,6 @@
+"""CPU-side models: the core and its MSHR file."""
+
+from repro.cpu.model import Core
+from repro.cpu.mshr import AllocationResult, MshrFile
+
+__all__ = ["AllocationResult", "Core", "MshrFile"]

@@ -1,0 +1,103 @@
+"""Core model.
+
+The paper models an out-of-order, non-speculative CPU whose instruction
+window is bounded by structural hazards (ROB/LSQ).  This reproduction keeps
+the two properties PABST's behaviour depends on:
+
+* bounded memory-level parallelism — a core runs ``workload.contexts``
+  independent dependent-chains, and outstanding L2 misses are further capped
+  by the MSHR file;
+* latency sensitivity — each context blocks until its access completes, so
+  a low-context workload's request rate falls as memory latency grows.
+
+The core knows nothing about caches or PABST: it asks the system to perform
+an access and gets a completion callback.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.sim.engine import Engine
+from repro.workloads.base import Access, Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.system import System
+
+__all__ = ["Core"]
+
+
+class Core:
+    """One CPU tile driving a workload through the memory system."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        core_id: int,
+        qos_id: int,
+        workload: Workload,
+        access_fn: "Callable[[Core, Access, Callable[[], None]], None]",
+        on_instructions: Callable[[int, int], None],
+    ) -> None:
+        self._engine = engine
+        self.core_id = core_id
+        self.qos_id = qos_id
+        self.workload = workload
+        self._access_fn = access_fn
+        self._on_instructions = on_instructions
+        self.rng: np.random.Generator = engine.rng(f"core.{core_id}")
+        workload.bind(self)
+
+        self.accesses_issued = 0
+        self.accesses_completed = 0
+        self.instructions = 0
+        self._live_contexts = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Kick off every context at cycle 0 (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._live_contexts = self.workload.contexts
+        for context in range(self.workload.contexts):
+            self._engine.schedule(0, self._advance, context)
+
+    @property
+    def now(self) -> int:
+        return self._engine.now
+
+    @property
+    def done(self) -> bool:
+        """True once every context has retired."""
+        return self._started and self._live_contexts == 0
+
+    # ------------------------------------------------------------------
+    # context state machine
+    # ------------------------------------------------------------------
+    def _advance(self, context: int) -> None:
+        access = self.workload.next_access(context)
+        if access is None:
+            self._live_contexts -= 1
+            return
+        if access.gap > 0:
+            self._engine.schedule(access.gap, self._issue, context, access)
+        else:
+            self._issue(context, access)
+
+    def _issue(self, context: int, access: Access) -> None:
+        self.accesses_issued += 1
+        self._access_fn(self, access, lambda: self._complete(context, access))
+
+    def _complete(self, context: int, access: Access) -> None:
+        self.accesses_completed += 1
+        if access.instructions:
+            self.instructions += access.instructions
+            self._on_instructions(self.qos_id, access.instructions)
+        self.workload.on_complete(context, access, self._engine.now)
+        self._advance(context)

@@ -1,0 +1,12 @@
+"""DDR model: timing, banks, data bus, controller, and schedulers."""
+
+from repro.dram.bank import Bank
+from repro.dram.channel import DataBus
+from repro.dram.controller import MemoryController
+from repro.dram.schedulers import FcfsPolicy, FrFcfsPolicy, SchedulingPolicy
+from repro.dram.timing import DramTiming, PagePolicy
+
+__all__ = [
+    "Bank", "DataBus", "DramTiming", "FcfsPolicy", "FrFcfsPolicy",
+    "MemoryController", "PagePolicy", "SchedulingPolicy",
+]

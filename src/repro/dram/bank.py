@@ -1,0 +1,51 @@
+"""DRAM bank state.
+
+A bank serves one access at a time; under the closed-page policy (the
+paper's default) every access pays activate + CAS and a precharge on the way
+out, while the open-page option keeps the row latched for row-hit detection
+by FR-FCFS and the PABST back-end arbiter.
+"""
+
+from __future__ import annotations
+
+from repro.dram.timing import DramTiming, PagePolicy
+
+__all__ = ["Bank"]
+
+
+class Bank:
+    """Timing state for one DRAM bank."""
+
+    def __init__(self, bank_id: int, timing: DramTiming, page_policy: str) -> None:
+        if page_policy not in PagePolicy.ALL:
+            raise ValueError(f"unknown page policy {page_policy!r}")
+        self.bank_id = bank_id
+        self._timing = timing
+        self._page_policy = page_policy
+        self.busy_until = 0
+        self.open_row: int | None = None
+        self.accesses = 0
+        self.row_hits = 0
+
+    def is_free(self, now: int) -> bool:
+        return now >= self.busy_until
+
+    def is_row_hit(self, row: int) -> bool:
+        """True when the access would hit the currently open row."""
+        return self._page_policy == PagePolicy.OPEN and self.open_row == row
+
+    def prep_cycles(self, row: int) -> int:
+        """Cycles from issue until the data burst can begin."""
+        return self._timing.access_prep(self.is_row_hit(row))
+
+    def issue(self, now: int, row: int, data_end: int) -> None:
+        """Commit an access whose data burst finishes at ``data_end``."""
+        if not self.is_free(now):
+            raise ValueError(
+                f"bank {self.bank_id} busy until {self.busy_until}, now {now}"
+            )
+        self.accesses += 1
+        if self.is_row_hit(row):
+            self.row_hits += 1
+        self.busy_until = data_end + self._timing.bank_recovery(self._page_policy)
+        self.open_row = row if self._page_policy == PagePolicy.OPEN else None

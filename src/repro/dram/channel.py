@@ -1,0 +1,37 @@
+"""DRAM channel data bus.
+
+The bus serializes data bursts; its utilization is the numerator of the
+paper's *memory efficiency* metric (Fig. 12).
+"""
+
+from __future__ import annotations
+
+__all__ = ["DataBus"]
+
+
+class DataBus:
+    """Single data bus shared by all banks behind one memory controller."""
+
+    def __init__(self, burst_cycles: int) -> None:
+        if burst_cycles <= 0:
+            raise ValueError(f"burst_cycles must be positive, got {burst_cycles}")
+        self._burst = burst_cycles
+        self.free_at = 0
+        self.busy_cycles = 0
+        self.transfers = 0
+
+    @property
+    def burst_cycles(self) -> int:
+        return self._burst
+
+    def reserve(self, earliest_start: int) -> tuple[int, int]:
+        """Reserve the bus for one burst starting no earlier than given.
+
+        Returns ``(data_start, data_end)`` and advances the bus reservation.
+        """
+        data_start = max(earliest_start, self.free_at)
+        data_end = data_start + self._burst
+        self.free_at = data_end
+        self.busy_cycles += self._burst
+        self.transfers += 1
+        return data_start, data_end

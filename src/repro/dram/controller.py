@@ -1,0 +1,300 @@
+"""Memory controller with a queued front-end and a bank/bus back-end.
+
+The structure follows Section III-C of the paper:
+
+* A **front-end** accepts requests from the SoC network into separate read
+  and write queues.  Both queues have finite capacity; when the read queue
+  is full the controller exerts backpressure and requests pile up *outside*
+  the controller (at the L3), which is exactly the condition under which
+  target-only regulation breaks down (Fig. 1b).
+* A **back-end** of banks and one shared data bus serves requests.  A
+  request leaves the front-end at the moment its bank access begins, so the
+  pluggable :class:`~repro.dram.schedulers.SchedulingPolicy` (FR-FCFS,
+  FQM-style, or the PABST arbiter) always selects over every queued request
+  whose bank is ready — see ``schedulers.py`` for why the selection point
+  is unified.
+* Reads have priority; writes drain in batches between a high and a low
+  watermark (the paper leaves the baseline read/write switch unmodified).
+
+Two timing rules keep the model honest:
+
+* an access issues only when its bank-prep time covers the remaining
+  data-bus backlog, so bus slots are never reserved far ahead of service
+  (which would freeze the order and silently defeat arbitration);
+* every scheduling pass re-arms a wakeup at the next bank-free or
+  gate-open time, so queued work never stalls waiting for an unrelated
+  event.
+
+The controller also integrates its read-queue occupancy over time, which
+the PABST saturation monitor samples at each epoch boundary.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.dram.bank import Bank
+from repro.dram.channel import DataBus
+from repro.dram.schedulers import FrFcfsPolicy, SchedulingPolicy
+from repro.sim.engine import Engine, Event
+from repro.sim.records import MemoryRequest
+
+if TYPE_CHECKING:  # pragma: no cover - break the sim<->dram import cycle
+    from repro.sim.config import SystemConfig
+    from repro.sim.stats import Stats
+    from repro.sim.topology import AddressMap
+
+__all__ = ["MemoryController"]
+
+
+class MemoryController:
+    """One DDR channel: front-end queues, banks, data bus, and a scheduler."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        mc_id: int,
+        config: "SystemConfig",
+        address_map: "AddressMap",
+        stats: "Stats",
+        policy: SchedulingPolicy | None = None,
+    ) -> None:
+        self._engine = engine
+        self.mc_id = mc_id
+        self._config = config
+        self._timing = config.dram
+        self._map = address_map
+        self._stats = stats
+        self.policy: SchedulingPolicy = policy if policy is not None else FrFcfsPolicy()
+        self.banks = [
+            Bank(bank, self._timing, config.page_policy)
+            for bank in range(config.banks_per_mc)
+        ]
+        self.bus = DataBus(self._timing.t_burst)
+        self.read_queue: list[MemoryRequest] = []
+        self.write_queue: list[MemoryRequest] = []
+        self.on_read_complete: Callable[[MemoryRequest], None] | None = None
+        self._space_listeners: list[Callable[[int], None]] = []
+        self._draining_writes = False
+
+        # scheduling-pass coalescing
+        self._pass_event: Event | None = None
+        self._pass_at: int | None = None
+
+        # read-queue occupancy integral (for the saturation monitor)
+        self._occ_integral = 0
+        self._occ_last_update = 0
+        self._occ_window_start = 0
+
+        # activity tracking (denominator of memory efficiency, Fig. 12)
+        self._inflight = 0
+        self._active_since = -1
+        self.active_cycles = 0
+
+        # counters
+        self.reads_accepted = 0
+        self.writes_accepted = 0
+        self.rejects = 0
+
+    # ------------------------------------------------------------------
+    # front-end
+    # ------------------------------------------------------------------
+    @property
+    def read_queue_capacity(self) -> int:
+        return self._config.frontend_read_queue
+
+    def try_enqueue(self, req: MemoryRequest) -> bool:
+        """Accept a request into the front-end; False means queue full."""
+        now = self._engine.now
+        if req.is_memory_write:
+            if len(self.write_queue) >= self._config.frontend_write_queue:
+                self.rejects += 1
+                self._stats.requests_rejected += 1
+                return False
+            target = self.write_queue
+            self.writes_accepted += 1
+        else:
+            if len(self.read_queue) >= self._config.frontend_read_queue:
+                self.rejects += 1
+                self._stats.requests_rejected += 1
+                return False
+            target = self.read_queue
+            self._update_occupancy()
+            self.reads_accepted += 1
+
+        req.arrived_mc_at = now
+        req.mc_id = self.mc_id
+        req.bank_id = self._map.bank_of(req.addr)
+        req.row_id = self._map.row_of(req.addr)
+        target.append(req)
+        self._stats.requests_enqueued += 1
+        self.policy.on_accept(req, now)
+        self._note_arrival()
+        self._request_pass(now)
+        return True
+
+    def add_space_listener(self, callback: Callable[[int], None]) -> None:
+        """Register a callback invoked (async) when queue space frees up."""
+        self._space_listeners.append(callback)
+
+    # ------------------------------------------------------------------
+    # saturation-monitor interface
+    # ------------------------------------------------------------------
+    def sample_read_occupancy(self) -> float:
+        """Average read-queue occupancy since the last sample."""
+        now = self._engine.now
+        self._update_occupancy()
+        elapsed = now - self._occ_window_start
+        average = self._occ_integral / elapsed if elapsed > 0 else float(
+            len(self.read_queue)
+        )
+        self._occ_integral = 0
+        self._occ_window_start = now
+        return average
+
+    def _update_occupancy(self) -> None:
+        now = self._engine.now
+        self._occ_integral += len(self.read_queue) * (now - self._occ_last_update)
+        self._occ_last_update = now
+
+    # ------------------------------------------------------------------
+    # activity accounting
+    # ------------------------------------------------------------------
+    def _note_arrival(self) -> None:
+        if self._inflight == 0:
+            self._active_since = self._engine.now
+        self._inflight += 1
+
+    def _note_retirement(self) -> None:
+        self._inflight -= 1
+        if self._inflight == 0:
+            delta = self._engine.now - self._active_since
+            self.active_cycles += delta
+            self._stats.mc_active_cycles += delta
+
+    def finalize(self) -> None:
+        """Close open accounting intervals at the end of a run."""
+        self._update_occupancy()
+        if self._inflight > 0:
+            delta = self._engine.now - self._active_since
+            self.active_cycles += delta
+            self._stats.mc_active_cycles += delta
+            self._active_since = self._engine.now
+
+    # ------------------------------------------------------------------
+    # scheduling passes
+    # ------------------------------------------------------------------
+    def _request_pass(self, when: int) -> None:
+        """Coalesce scheduling passes: keep at most one, at the earliest time."""
+        if self._pass_at is not None and self._pass_at <= when:
+            return
+        if self._pass_event is not None:
+            self._pass_event.cancel()
+        self._pass_at = when
+        self._pass_event = self._engine.schedule_at(when, self._run_pass)
+
+    def _run_pass(self) -> None:
+        self._pass_event = None
+        self._pass_at = None
+        now = self._engine.now
+        self._update_write_mode()
+        issued_reads = self._issue_ready(now)
+        if issued_reads:
+            self._notify_space()
+        # Always re-arm: queued work may be waiting on a bank recovery or on
+        # the data-bus issue gate, neither of which produces its own event.
+        self._schedule_wakeup(now)
+
+    def _update_write_mode(self) -> None:
+        if self._draining_writes:
+            if len(self.write_queue) <= self._config.write_low_watermark:
+                self._draining_writes = False
+        elif len(self.write_queue) >= self._config.write_high_watermark:
+            self._draining_writes = True
+
+    def _ready(self, queue: list[MemoryRequest], bus_backlog: int, now: int) -> list[MemoryRequest]:
+        """Requests whose bank is free and whose prep covers the bus backlog."""
+        ready: list[MemoryRequest] = []
+        for req in queue:
+            bank = self.banks[req.bank_id]
+            if bank.is_free(now) and bank.prep_cycles(req.row_id) >= bus_backlog:
+                ready.append(req)
+        return ready
+
+    def _issue_ready(self, now: int) -> int:
+        """Serve ready requests until banks, bus, or queues run out."""
+        issued_reads = 0
+        while True:
+            bus_backlog = self.bus.free_at - now
+            ready_reads = self._ready(self.read_queue, bus_backlog, now)
+            if self._draining_writes or not ready_reads:
+                ready_writes = self._ready(self.write_queue, bus_backlog, now)
+                pool = ready_writes if ready_writes else ready_reads
+            else:
+                pool = ready_reads
+            if not pool:
+                return issued_reads
+            req = self.policy.pick(pool, self.banks, now)
+            self._issue(req, now)
+            if req.is_read:
+                issued_reads += 1
+
+    def _issue(self, req: MemoryRequest, now: int) -> None:
+        bank = self.banks[req.bank_id]
+        prep = bank.prep_cycles(req.row_id)
+        data_start, data_end = self.bus.reserve(now + prep)
+        bank.issue(now, req.row_id, data_end)
+        req.dispatched_at = now
+        req.issued_at = now
+        self._stats.bus_busy_cycles += self.bus.burst_cycles
+        if req.is_memory_write:
+            self.write_queue.remove(req)
+        else:
+            self._update_occupancy()
+            self.read_queue.remove(req)
+        self._engine.schedule_at(data_end, self._complete, req)
+
+    def _complete(self, req: MemoryRequest) -> None:
+        req.completed_at = self._engine.now
+        self._stats.record_completion(req)
+        self._note_retirement()
+        if req.is_read and self.on_read_complete is not None:
+            self.on_read_complete(req)
+        self._request_pass(self._engine.now)
+
+    def _schedule_wakeup(self, now: int) -> None:
+        """Re-arm the pass at the next bank-free or bus-gate-open time."""
+        if not (self.read_queue or self.write_queue):
+            return
+        wake_times = [
+            bank.busy_until for bank in self.banks if not bank.is_free(now)
+        ]
+        min_prep = self._timing.access_prep(row_hit=True)
+        bus_gate = self.bus.free_at - min_prep
+        if bus_gate > now:
+            wake_times.append(bus_gate)
+        if wake_times:
+            self._request_pass(max(now + 1, min(wake_times)))
+
+    def _notify_space(self) -> None:
+        for listener in self._space_listeners:
+            self._engine.schedule(0, listener, self.mc_id)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def queued_reads(self) -> int:
+        return len(self.read_queue)
+
+    @property
+    def queued_writes(self) -> int:
+        return len(self.write_queue)
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def draining_writes(self) -> bool:
+        return self._draining_writes

@@ -1,0 +1,79 @@
+"""Memory-controller scheduling policies.
+
+The controller keeps requests in its front-end read/write queues until the
+moment they can actually begin a bank access (bank free, data-bus slot
+within reach).  A :class:`SchedulingPolicy` chooses, among those *ready*
+requests, which one the back-end serves next; ``on_accept`` lets a policy
+attach state (e.g. a virtual deadline) when a request enters the front-end.
+
+Scheduling therefore has a single selection point spanning the whole
+front-end queue.  This collapses the paper's two EDF stages (front-end pick
+plus back-end bank pick) into one: with short back-end queues, staging a
+request at a bank *before* the bank is free lets an earlier-staged,
+lower-priority request block a later, higher-priority one to the same bank
+(priority inversion), which contradicts the arbiter both PABST and FQM
+describe.  DESIGN.md §3 records this reconstruction.
+
+The baseline policy is First-Ready FCFS (FR-FCFS [26]): row hits first,
+then oldest.  The PABST priority arbiter implements the same interface with
+earliest-virtual-deadline order.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.dram.bank import Bank
+from repro.sim.records import MemoryRequest
+
+__all__ = ["FcfsPolicy", "FrFcfsPolicy", "SchedulingPolicy", "oldest_first"]
+
+
+def oldest_first(candidates: Sequence[MemoryRequest]) -> MemoryRequest:
+    """Arrival order, with request id as a deterministic tiebreaker."""
+    return min(candidates, key=lambda req: (req.arrived_mc_at, req.req_id))
+
+
+class SchedulingPolicy(ABC):
+    """Request-selection policy used by :class:`~repro.dram.controller.MemoryController`."""
+
+    def on_accept(self, req: MemoryRequest, now: int) -> None:
+        """Hook: a request entered the front-end queue."""
+
+    @abstractmethod
+    def pick(
+        self, candidates: Sequence[MemoryRequest], banks: Sequence[Bank], now: int
+    ) -> MemoryRequest:
+        """Choose which ready request the back-end serves next.
+
+        ``candidates`` is non-empty and homogeneous: all reads or all
+        writes (the controller selects the pool by read/write mode first).
+        """
+
+
+class FcfsPolicy(SchedulingPolicy):
+    """Strict arrival order."""
+
+    def pick(
+        self, candidates: Sequence[MemoryRequest], banks: Sequence[Bank], now: int
+    ) -> MemoryRequest:
+        return oldest_first(candidates)
+
+
+class FrFcfsPolicy(SchedulingPolicy):
+    """First-Ready FCFS: row hits beat older row misses [26].
+
+    Under the closed-page policy there are no row hits and this degenerates
+    to FCFS, as the paper notes.
+    """
+
+    def pick(
+        self, candidates: Sequence[MemoryRequest], banks: Sequence[Bank], now: int
+    ) -> MemoryRequest:
+        row_hits = [
+            req for req in candidates if banks[req.bank_id].is_row_hit(req.row_id)
+        ]
+        if row_hits:
+            return oldest_first(row_hits)
+        return oldest_first(candidates)

@@ -1,0 +1,95 @@
+"""DDR timing parameters.
+
+All values are expressed in CPU cycles so the rest of the simulator never
+converts clock domains.  The presets approximate DDR4-2400 seen from a 2 GHz
+CPU; :meth:`DramTiming.frequency_scaled` supports the paper's Fig. 11
+baseline, which emulates a static bandwidth partition by running DRAM at a
+quarter of its frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["DramTiming", "PagePolicy"]
+
+
+class PagePolicy:
+    """Row-buffer management policies supported by the bank model."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+
+    ALL = (CLOSED, OPEN)
+
+
+@dataclass(frozen=True, slots=True)
+class DramTiming:
+    """Bank and bus timing in CPU cycles.
+
+    Attributes
+    ----------
+    t_rcd: activate-to-column-command delay.
+    t_cl: column-command-to-data delay (CAS latency).
+    t_rp: precharge time.
+    t_burst: cycles the data bus is occupied per cache-line transfer.
+    """
+
+    t_rcd: int = 30
+    t_cl: int = 30
+    t_rp: int = 30
+    t_burst: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("t_rcd", "t_cl", "t_rp", "t_burst"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+
+    # ------------------------------------------------------------------
+    # derived values
+    # ------------------------------------------------------------------
+    def access_prep(self, row_hit: bool) -> int:
+        """Cycles from bank issue until the data burst may start."""
+        if row_hit:
+            return self.t_cl
+        return self.t_rcd + self.t_cl
+
+    def bank_recovery(self, page_policy: str) -> int:
+        """Cycles the bank stays busy after the data burst completes."""
+        if page_policy == PagePolicy.CLOSED:
+            return self.t_rp
+        return 0
+
+    @property
+    def closed_page_service(self) -> int:
+        """Full bank occupancy of one closed-page access."""
+        return self.t_rcd + self.t_cl + self.t_burst + self.t_rp
+
+    def peak_bandwidth(self, line_bytes: int) -> float:
+        """Bytes per cycle one channel can sustain at 100% bus utilization."""
+        return line_bytes / self.t_burst
+
+    # ------------------------------------------------------------------
+    # presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def ddr4_2400(cls) -> "DramTiming":
+        """DDR4-2400-like timings as seen from a 2 GHz CPU clock."""
+        return cls(t_rcd=30, t_cl=30, t_rp=30, t_burst=8)
+
+    def frequency_scaled(self, divisor: int) -> "DramTiming":
+        """Return timings for DRAM running ``divisor``x slower.
+
+        Used by the Fig. 11 baseline, which approximates a static 1/divisor
+        bandwidth allocation by scaling DDR frequency down.
+        """
+        if divisor < 1:
+            raise ValueError(f"divisor must be >= 1, got {divisor}")
+        return replace(
+            self,
+            t_rcd=self.t_rcd * divisor,
+            t_cl=self.t_cl * divisor,
+            t_rp=self.t_rp * divisor,
+            t_burst=self.t_burst * divisor,
+        )

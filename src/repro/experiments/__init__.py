@@ -1,0 +1,35 @@
+"""Experiment definitions, one module per figure in the paper's evaluation.
+
+Each module exposes ``run(quick=False, seed=0)`` returning a result object
+with a ``report()`` method that prints the figure's rows/series.  The
+``benchmarks/`` directory wraps these for pytest-benchmark; EXPERIMENTS.md
+records paper-vs-measured values.
+"""
+
+from repro.experiments import (
+    fig01_motivation,
+    fig05_proportional,
+    fig06_work_conserving,
+    fig07_source_and_target,
+    fig08_excess,
+    fig09_memcached,
+    fig10_isolation,
+    fig11_iaas,
+    fig12_efficiency,
+)
+from repro.experiments.common import (
+    MECHANISMS,
+    ClassSpec,
+    RunResult,
+    build_system,
+    make_mechanism,
+    run_system,
+)
+
+__all__ = [
+    "ClassSpec", "MECHANISMS", "RunResult", "build_system", "make_mechanism",
+    "run_system",
+    "fig01_motivation", "fig05_proportional", "fig06_work_conserving",
+    "fig07_source_and_target", "fig08_excess", "fig09_memcached",
+    "fig10_isolation", "fig11_iaas", "fig12_efficiency",
+]

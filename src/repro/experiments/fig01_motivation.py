@@ -1,0 +1,68 @@
+"""Fig. 1 (Section I): why neither source- nor target-only regulation works.
+
+Four columns: (a) source regulator on two streams, (b) target regulator on
+two streams, (c) source regulator on chaser+stream, (d) target regulator on
+chaser+stream — all with a 3:1 allocation.  The paper's shape: (a) is fine,
+(b) fails badly (queues oversubscribed), (c) fails badly (throttling cannot
+lower the chaser's latency), (d) is the better of the two but leaves a
+residual error.
+
+This is the same machinery as Fig. 7 restricted to the single-point
+regulators; see :mod:`repro.experiments.fig07_source_and_target`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.experiments.fig07_source_and_target import (
+    TARGET_HI_SHARE,
+    Fig07Result,
+    MixOutcome,
+    run as _run_fig07,
+)
+
+__all__ = ["Fig01Result", "run", "TARGET_HI_SHARE"]
+
+_COLUMNS = (
+    ("a", "stream", "source-only"),
+    ("b", "stream", "target-only"),
+    ("c", "chaser", "source-only"),
+    ("d", "chaser", "target-only"),
+)
+
+
+@dataclass
+class Fig01Result:
+    inner: Fig07Result
+
+    def column(self, label: str) -> MixOutcome:
+        for col, mix, mechanism in _COLUMNS:
+            if col == label:
+                return self.inner.outcome(mix, mechanism)
+        raise KeyError(f"Fig. 1 has no column {label!r}")
+
+    def report(self) -> str:
+        rows = [
+            (
+                col,
+                f"{mechanism} / {mix} mix",
+                self.inner.outcome(mix, mechanism).hi_share,
+                TARGET_HI_SHARE,
+                self.inner.outcome(mix, mechanism).error,
+            )
+            for col, mix, mechanism in _COLUMNS
+        ]
+        return format_table(
+            ["col", "regulator / workload", "hi share", "target", "alloc error"],
+            rows,
+            title="Fig. 1 - source- vs target-based regulation, 3:1 allocation",
+        )
+
+
+def run(quick: bool = False, seed: int = 0) -> Fig01Result:
+    inner = _run_fig07(
+        mechanisms=("source-only", "target-only"), quick=quick, seed=seed
+    )
+    return Fig01Result(inner=inner)

@@ -1,0 +1,98 @@
+"""Fig. 6 (Principle 2): work conservation / do no harm.
+
+A periodic streamer (70% share) alternates between memory-resident and
+cache-resident phases while a constant streamer (30% share) runs steadily.
+During the periodic class's idle phases the constant streamer must ramp to
+nearly 100% of bandwidth; when the periodic class resumes, the constant
+streamer must be throttled back to its 30% allocation within a few epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_series
+from repro.analysis.timeline import BandwidthTimeline
+from repro.core.pabst import PabstMechanism
+from repro.experiments.common import ClassSpec, build_system, run_system
+from repro.workloads.periodic import PeriodicStreamWorkload
+from repro.workloads.stream import StreamWorkload
+
+__all__ = ["Fig06Result", "run"]
+
+PERIODIC_WEIGHT = 7
+CONSTANT_WEIGHT = 3
+
+
+@dataclass
+class Fig06Result:
+    timeline: BandwidthTimeline
+    phase_cycles: int
+    epoch_cycles: int
+    constant_util_active: float   # constant class while periodic streams
+    constant_util_idle: float     # constant class while periodic rests
+
+    def report(self) -> str:
+        lines = [
+            "Fig. 6 - work conservation: periodic (70%) vs constant (30%)",
+            format_series("periodic", self.timeline.utilization_series(0)),
+            format_series("constant", self.timeline.utilization_series(1)),
+            f"constant-class utilization while periodic active: "
+            f"{self.constant_util_active:.2f} of peak",
+            f"constant-class utilization while periodic idle:   "
+            f"{self.constant_util_idle:.2f} of peak",
+        ]
+        return "\n".join(lines)
+
+
+def run(quick: bool = False, seed: int = 0) -> Fig06Result:
+    phase = 30_000 if quick else 100_000
+    cycles_total = phase * (4 if quick else 6)
+    specs = [
+        ClassSpec(
+            qos_id=0,
+            name="periodic",
+            weight=PERIODIC_WEIGHT,
+            cores=4,
+            workload_factory=lambda: PeriodicStreamWorkload(
+                active_cycles=phase, idle_cycles=phase
+            ),
+            l3_ways=8,
+        ),
+        ClassSpec(
+            qos_id=1,
+            name="constant",
+            weight=CONSTANT_WEIGHT,
+            cores=4,
+            workload_factory=StreamWorkload,
+            l3_ways=8,
+        ),
+    ]
+    system = build_system(specs, mechanism=PabstMechanism(), seed=seed)
+    epoch_cycles = system.config.epoch_cycles
+    epochs = cycles_total // epoch_cycles
+    result = run_system(system, epochs=epochs, warmup_epochs=epochs // 4)
+    timeline = result.timeline
+
+    # classify measurement epochs by the periodic workload's phase, skipping
+    # the epochs around each transition where the governor is still walking
+    # M toward the new equilibrium (about a dozen epochs; Section III-B1)
+    period = 2 * phase
+    active, idle = [], []
+    settle = (4 if quick else 12) * epoch_cycles
+    for index, sample in enumerate(timeline.epochs):
+        if index < result.warmup_epochs:
+            continue
+        position = sample.start_cycle % period
+        util = sample.bandwidth(1) / system.config.peak_bandwidth
+        if settle <= position < phase - settle:
+            active.append(util)
+        elif phase + settle <= position < period - settle:
+            idle.append(util)
+    return Fig06Result(
+        timeline=timeline,
+        phase_cycles=phase,
+        epoch_cycles=epoch_cycles,
+        constant_util_active=sum(active) / len(active) if active else 0.0,
+        constant_util_idle=sum(idle) / len(idle) if idle else 0.0,
+    )

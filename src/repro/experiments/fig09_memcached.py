@@ -1,0 +1,121 @@
+"""Fig. 9 (Section IV-D): memcached service times under co-location.
+
+A single memcached server thread (high priority, 20:1 share) is co-located
+with streaming aggressors.  Without QoS the stream's queue pressure inflates
+both the mean and the tail of transaction service times; PABST should bring
+the whole distribution back near the isolated run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import percentile
+from repro.analysis.report import format_table
+from repro.experiments.common import ClassSpec, build_system, make_mechanism, run_system
+from repro.workloads.memcached import MemcachedWorkload
+from repro.workloads.stream import StreamWorkload
+
+__all__ = ["Fig09Result", "ServiceTimeSummary", "run"]
+
+MEMCACHED_WEIGHT = 20
+STREAM_WEIGHT = 1
+
+
+@dataclass(frozen=True)
+class ServiceTimeSummary:
+    """Distribution of transaction service times for one configuration."""
+
+    config: str
+    transactions: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def from_samples(cls, config: str, samples: list[int]) -> "ServiceTimeSummary":
+        mean = sum(samples) / len(samples) if samples else 0.0
+        return cls(
+            config=config,
+            transactions=len(samples),
+            mean=mean,
+            p50=percentile(samples, 50),
+            p95=percentile(samples, 95),
+            p99=percentile(samples, 99),
+        )
+
+
+@dataclass
+class Fig09Result:
+    isolated: ServiceTimeSummary
+    baseline: ServiceTimeSummary
+    pabst: ServiceTimeSummary
+
+    def degradation(self, summary: ServiceTimeSummary) -> float:
+        """Mean service time relative to the isolated run."""
+        if self.isolated.mean == 0:
+            return 0.0
+        return summary.mean / self.isolated.mean
+
+    def report(self) -> str:
+        rows = [
+            (s.config, s.transactions, s.mean, s.p50, s.p95, s.p99,
+             self.degradation(s))
+            for s in (self.isolated, self.baseline, self.pabst)
+        ]
+        return format_table(
+            ["config", "txns", "mean", "p50", "p95", "p99", "vs isolated"],
+            rows,
+            title="Fig. 9 - memcached transaction service times (cycles), 20:1 share",
+        )
+
+
+def _specs(with_aggressor: bool, memcached: MemcachedWorkload) -> list[ClassSpec]:
+    specs = [
+        ClassSpec(
+            qos_id=0,
+            name="memcached",
+            weight=MEMCACHED_WEIGHT,
+            cores=1,
+            workload_factory=lambda: memcached,
+            l3_ways=8,
+        )
+    ]
+    if with_aggressor:
+        specs.append(
+            ClassSpec(
+                qos_id=1,
+                name="stream",
+                weight=STREAM_WEIGHT,
+                cores=4,
+                workload_factory=StreamWorkload,
+                l3_ways=8,
+            )
+        )
+    return specs
+
+
+def _run_one(
+    config_name: str,
+    mechanism_name: str | None,
+    with_aggressor: bool,
+    epochs: int,
+    seed: int,
+) -> ServiceTimeSummary:
+    memcached = MemcachedWorkload(transactions=None, warmup_transactions=50)
+    mechanism = make_mechanism(mechanism_name) if mechanism_name else None
+    system = build_system(
+        _specs(with_aggressor, memcached), mechanism=mechanism, seed=seed
+    )
+    run_system(system, epochs=epochs, warmup_epochs=1)
+    return ServiceTimeSummary.from_samples(config_name, memcached.service_times)
+
+
+def run(quick: bool = False, seed: int = 0) -> Fig09Result:
+    epochs = 80 if quick else 250
+    return Fig09Result(
+        isolated=_run_one("isolated", None, False, epochs, seed),
+        baseline=_run_one("none + stream", "none", True, epochs, seed),
+        pabst=_run_one("pabst + stream", "pabst", True, epochs, seed),
+    )

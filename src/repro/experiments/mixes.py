@@ -1,0 +1,79 @@
+"""Workload mixes shared by the motivation experiments (Figs. 1 and 7).
+
+Both figures run the same two mixes with a 3:1 allocation:
+
+* **stream mix** — two write-streaming classes.  Their combined outstanding
+  misses oversubscribe the controller queues, the regime where target-only
+  regulation loses control (Fig. 1b).
+* **chaser mix** — a latency-sensitive pointer chaser (high share) against a
+  write streamer.  The chaser's achievable bandwidth is set by its memory
+  latency, the regime where source-only regulation cannot help (Fig. 1c).
+
+The chaser runs more chains per core than the paper's four because this
+reproduction gives it fewer cores; what matters is that the class *could*
+consume its 75% entitlement at isolated latency (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ClassSpec
+from repro.workloads.chaser import ChaserWorkload
+from repro.workloads.stream import StreamWorkload
+
+__all__ = [
+    "HI_WEIGHT",
+    "LO_WEIGHT",
+    "chaser_mix",
+    "stream_mix",
+]
+
+HI_WEIGHT = 3
+LO_WEIGHT = 1
+
+
+def _aggressor_stream() -> StreamWorkload:
+    return StreamWorkload(write_fraction=1.0, name="write-stream")
+
+
+def stream_mix(cores_per_class: int = 4) -> list[ClassSpec]:
+    """Two write-stream classes with a 3:1 share split."""
+    return [
+        ClassSpec(
+            qos_id=0,
+            name="stream-hi",
+            weight=HI_WEIGHT,
+            cores=cores_per_class,
+            workload_factory=_aggressor_stream,
+            l3_ways=8,
+        ),
+        ClassSpec(
+            qos_id=1,
+            name="stream-lo",
+            weight=LO_WEIGHT,
+            cores=cores_per_class,
+            workload_factory=_aggressor_stream,
+            l3_ways=8,
+        ),
+    ]
+
+
+def chaser_mix(cores_per_class: int = 4, chains: int = 8) -> list[ClassSpec]:
+    """Latency-sensitive chaser (3) against a write streamer (1)."""
+    return [
+        ClassSpec(
+            qos_id=0,
+            name="chaser",
+            weight=HI_WEIGHT,
+            cores=cores_per_class,
+            workload_factory=lambda: ChaserWorkload(chains=chains),
+            l3_ways=8,
+        ),
+        ClassSpec(
+            qos_id=1,
+            name="stream-lo",
+            weight=LO_WEIGHT,
+            cores=cores_per_class,
+            workload_factory=_aggressor_stream,
+            l3_ways=8,
+        ),
+    ]

@@ -1,0 +1,135 @@
+"""QoS classes and the QoSID registry (paper Section II-B).
+
+A QoS class groups threads (here: cores) that share one resource allocation.
+The registry stands in for the per-CPU QoSID registers plus the broadcast
+mechanism the paper assumes for tracking active CPU counts per class
+(Section V-B): assigning a core to a class immediately updates ``threads_c``
+seen by every governor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.qos.shares import DEFAULT_STRIDE_SCALE, stride_for_weight
+
+__all__ = ["QoSClass", "QoSRegistry"]
+
+
+@dataclass(slots=True)
+class QoSClass:
+    """One class of service.
+
+    ``weight`` is the software-facing proportional share; ``stride`` is the
+    hardware-facing inverse used by the governor and the arbiter.  ``l3_ways``
+    optionally carves an exclusive L3 partition for the class (the paper
+    isolates cache effects this way in every experiment).
+    """
+
+    qos_id: int
+    name: str
+    weight: float
+    stride: int = field(default=0)
+    l3_ways: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.qos_id < 0:
+            raise ValueError(f"qos_id must be non-negative, got {self.qos_id}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        if self.stride == 0:
+            self.stride = stride_for_weight(self.weight, DEFAULT_STRIDE_SCALE)
+        if self.stride < 1:
+            raise ValueError(f"stride must be >= 1, got {self.stride}")
+
+
+class QoSRegistry:
+    """Class table plus core-to-class assignment."""
+
+    def __init__(self, stride_scale: int = DEFAULT_STRIDE_SCALE) -> None:
+        if stride_scale <= 0:
+            raise ValueError("stride_scale must be positive")
+        self._stride_scale = stride_scale
+        self._classes: dict[int, QoSClass] = {}
+        self._core_class: dict[int, int] = {}
+        self._threads: dict[int, int] = {}
+
+    @property
+    def stride_scale(self) -> int:
+        """Fixed-point scale shared by every stride in this registry."""
+        return self._stride_scale
+
+    # ------------------------------------------------------------------
+    # class management
+    # ------------------------------------------------------------------
+    def define_class(
+        self,
+        qos_id: int,
+        name: str,
+        weight: float,
+        l3_ways: int | None = None,
+    ) -> QoSClass:
+        """Create (or redefine) a QoS class with the given weight."""
+        qos_class = QoSClass(
+            qos_id=qos_id,
+            name=name,
+            weight=weight,
+            stride=stride_for_weight(weight, self._stride_scale),
+            l3_ways=l3_ways,
+        )
+        self._classes[qos_id] = qos_class
+        self._threads.setdefault(qos_id, 0)
+        return qos_class
+
+    def get(self, qos_id: int) -> QoSClass:
+        try:
+            return self._classes[qos_id]
+        except KeyError:
+            raise KeyError(f"QoS class {qos_id} is not defined") from None
+
+    @property
+    def classes(self) -> list[QoSClass]:
+        return [self._classes[qos_id] for qos_id in sorted(self._classes)]
+
+    @property
+    def qos_ids(self) -> list[int]:
+        return sorted(self._classes)
+
+    def stride(self, qos_id: int) -> int:
+        return self.get(qos_id).stride
+
+    def weight(self, qos_id: int) -> float:
+        return self.get(qos_id).weight
+
+    def share(self, qos_id: int) -> float:
+        """Eq. 1 share of this class among all defined classes."""
+        total = sum(qos_class.weight for qos_class in self._classes.values())
+        return self.get(qos_id).weight / total
+
+    # ------------------------------------------------------------------
+    # core assignment (QoSID registers)
+    # ------------------------------------------------------------------
+    def assign_core(self, core_id: int, qos_id: int) -> None:
+        """Point a core's QoSID register at a class (broadcast semantics)."""
+        self.get(qos_id)
+        previous = self._core_class.get(core_id)
+        if previous is not None:
+            self._threads[previous] -= 1
+        self._core_class[core_id] = qos_id
+        self._threads[qos_id] = self._threads.get(qos_id, 0) + 1
+
+    def class_of_core(self, core_id: int) -> int:
+        try:
+            return self._core_class[core_id]
+        except KeyError:
+            raise KeyError(f"core {core_id} has no QoSID assigned") from None
+
+    def threads_in_class(self, qos_id: int) -> int:
+        """Active CPU count for a class (``threads_c`` in Eq. 4)."""
+        self.get(qos_id)
+        return self._threads.get(qos_id, 0)
+
+    def cores_in_class(self, qos_id: int) -> list[int]:
+        return sorted(
+            core for core, assigned in self._core_class.items() if assigned == qos_id
+        )

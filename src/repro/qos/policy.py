@@ -1,0 +1,93 @@
+"""Software allocation policies on top of the PABST mechanism.
+
+PABST deliberately provides *mechanism* (proportional shares) and leaves
+*policy* to software (Section II-C).  This module supplies the simplest
+useful policy: a feedback controller that adjusts one class's weight until
+its observed bandwidth reaches a target fraction of peak — the kind of loop
+a datacenter manager (Heracles-style) would run on top of the hardware
+knobs.  Because the governor re-reads strides every epoch and the arbiter
+per request, weight updates take effect at the next epoch boundary.
+"""
+
+from __future__ import annotations
+
+from repro.qos.classes import QoSRegistry
+from repro.qos.monitor import BandwidthMonitor
+
+__all__ = ["BandwidthTargetPolicy"]
+
+
+class BandwidthTargetPolicy:
+    """Multiplicative-increase/decrease weight controller for one class.
+
+    Parameters
+    ----------
+    registry, monitor:
+        The QoS registry holding the class and a bandwidth monitor reading
+        the same system's statistics.
+    qos_id:
+        The controlled class.
+    target_utilization:
+        Desired bandwidth as a fraction of system peak.
+    gain:
+        Multiplicative step per update; 1.25 reacts within a few epochs
+        without ringing.
+    deadband:
+        Relative error tolerated before adjusting, to avoid weight churn.
+    """
+
+    def __init__(
+        self,
+        registry: QoSRegistry,
+        monitor: BandwidthMonitor,
+        qos_id: int,
+        target_utilization: float,
+        gain: float = 1.25,
+        deadband: float = 0.05,
+        min_weight: float = 0.25,
+        max_weight: float = 256.0,
+    ) -> None:
+        if not 0.0 < target_utilization <= 1.0:
+            raise ValueError("target_utilization must be in (0, 1]")
+        if gain <= 1.0:
+            raise ValueError("gain must be > 1")
+        if deadband < 0:
+            raise ValueError("deadband must be non-negative")
+        if not 0 < min_weight <= max_weight:
+            raise ValueError("need 0 < min_weight <= max_weight")
+        registry.get(qos_id)
+        self._registry = registry
+        self._monitor = monitor
+        self.qos_id = qos_id
+        self.target = target_utilization
+        self._gain = gain
+        self._deadband = deadband
+        self._min_weight = min_weight
+        self._max_weight = max_weight
+        self.adjustments = 0
+
+    @property
+    def weight(self) -> float:
+        return self._registry.weight(self.qos_id)
+
+    def update(self, window_epochs: int = 5) -> float:
+        """One control step; returns the (possibly new) weight.
+
+        Call at epoch granularity, e.g. every few epochs from the
+        experiment loop.
+        """
+        observed = self._monitor.utilization(self.qos_id, window_epochs)
+        error = observed - self.target
+        if abs(error) <= self._deadband * self.target:
+            return self.weight
+        current = self._registry.get(self.qos_id)
+        if error < 0:
+            new_weight = min(current.weight * self._gain, self._max_weight)
+        else:
+            new_weight = max(current.weight / self._gain, self._min_weight)
+        if new_weight != current.weight:
+            self._registry.define_class(
+                self.qos_id, current.name, new_weight, l3_ways=current.l3_ways
+            )
+            self.adjustments += 1
+        return new_weight

@@ -1,0 +1,64 @@
+"""Proportional shares and strides (paper Section II-C).
+
+Software expresses allocations as *weights*; the PABST hardware consumes the
+inverse, a *stride*, because every governor update then becomes a multiply by
+a per-class constant (Eq. 2).  ``stride = round(scale / weight)`` with a
+common fixed-point ``scale``; the relative error introduced by rounding is
+bounded and checked by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = [
+    "DEFAULT_STRIDE_SCALE",
+    "proportional_share",
+    "proportional_shares",
+    "stride_for_weight",
+    "strides_for_weights",
+]
+
+DEFAULT_STRIDE_SCALE = 1 << 14
+
+
+def proportional_share(weight: float, all_weights: Mapping[int, float] | list[float]) -> float:
+    """Eq. 1: the fraction of the resource a weight entitles its owner to."""
+    if weight <= 0:
+        raise ValueError(f"weight must be positive, got {weight}")
+    values = list(all_weights.values()) if isinstance(all_weights, Mapping) else list(all_weights)
+    total = float(sum(values))
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+    return weight / total
+
+
+def proportional_shares(weights: Mapping[int, float]) -> dict[int, float]:
+    """Eq. 1 for every consumer: shares sum to 1."""
+    total = float(sum(weights.values()))
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+    for key, weight in weights.items():
+        if weight <= 0:
+            raise ValueError(f"weight for {key!r} must be positive, got {weight}")
+    return {key: weight / total for key, weight in weights.items()}
+
+
+def stride_for_weight(weight: float, scale: int = DEFAULT_STRIDE_SCALE) -> int:
+    """Eq. 2: stride is inversely proportional to weight.
+
+    The result is a positive integer so virtual clocks and pacer periods can
+    use exact integer arithmetic, as the paper's hardware does.
+    """
+    if weight <= 0:
+        raise ValueError(f"weight must be positive, got {weight}")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return max(1, round(scale / weight))
+
+
+def strides_for_weights(
+    weights: Mapping[int, float], scale: int = DEFAULT_STRIDE_SCALE
+) -> dict[int, int]:
+    """Strides for a full weight table, sharing one fixed-point scale."""
+    return {key: stride_for_weight(weight, scale) for key, weight in weights.items()}

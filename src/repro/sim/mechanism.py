@@ -1,0 +1,73 @@
+"""Interface between the simulated machine and a bandwidth-QoS mechanism.
+
+A :class:`QoSMechanism` is the pluggable "hardware" under evaluation:
+PABST, its source-only and target-only ablations, or nothing at all.  The
+:class:`~repro.sim.system.System` calls these hooks:
+
+* ``attach``             — once, after the machine is built;
+* ``mc_policy``          — scheduling policy for each memory controller;
+* ``request_release``    — an L2 miss wants to enter the NoC (pacer point);
+* ``on_response``        — a response reached the source (L3-hit undo and
+                           writeback charging);
+* ``on_epoch``           — the epoch heartbeat with the wired-OR SAT value.
+
+The base class implements the do-nothing mechanism, which doubles as the
+no-QoS baseline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.dram.schedulers import SchedulingPolicy
+from repro.sim.records import MemoryRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.system import System
+
+__all__ = ["QoSMechanism"]
+
+
+class QoSMechanism:
+    """Default mechanism: unregulated baseline (plain FR-FCFS, no pacing)."""
+
+    name = "none"
+
+    def attach(self, system: "System") -> None:
+        """Wire the mechanism to a freshly built system."""
+
+    def mc_policy(self, mc_id: int) -> SchedulingPolicy | None:
+        """Scheduling policy for memory controller ``mc_id`` (None = default)."""
+        return None
+
+    def request_release(
+        self, core_id: int, req: MemoryRequest, release: Callable[[], None]
+    ) -> None:
+        """An L2 miss asks to enter the NoC; call ``release`` to let it go."""
+        release()
+
+    def on_response(self, core_id: int, req: MemoryRequest) -> None:
+        """A response arrived back at its source tile."""
+
+    def charge_class_writeback(self, qos_id: int) -> None:
+        """Charge one writeback to a class directly (owner accounting).
+
+        Used only when the system runs ``writeback_accounting="owner"``
+        (Section V-C alternative); the default demand accounting charges
+        through the response flag instead.
+        """
+
+    def on_epoch(
+        self, saturated: bool, per_mc: tuple[bool, ...] | None = None
+    ) -> None:
+        """Epoch heartbeat.
+
+        ``saturated`` is the global wired-OR SAT value the paper's design
+        broadcasts; ``per_mc`` carries the individual controller signals
+        for mechanisms implementing the per-controller alternative of
+        Section III-C1.
+        """
+
+    def multiplier(self) -> int:
+        """Current governor multiplier M, or -1 when not applicable."""
+        return -1

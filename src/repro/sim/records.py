@@ -1,0 +1,94 @@
+"""Request records that flow through the simulated memory system.
+
+A :class:`MemoryRequest` is created when an L2 miss leaves a core and carries
+timestamps for every hop so the analysis layer can attribute latency to the
+pacer, the interconnect, the front-end queue, and DRAM service.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["AccessType", "MemoryRequest", "next_request_id"]
+
+_request_ids = itertools.count()
+
+
+def next_request_id() -> int:
+    """Return a process-unique, monotonically increasing request id."""
+    return next(_request_ids)
+
+
+class AccessType(str, Enum):
+    """Kind of memory-system transaction."""
+
+    READ = "read"
+    WRITE = "write"
+    WRITEBACK = "writeback"
+
+    @property
+    def is_read(self) -> bool:
+        return self is AccessType.READ
+
+
+@dataclass(slots=True)
+class MemoryRequest:
+    """One cache-line transaction travelling from a source to a target.
+
+    Timestamps are in engine cycles; ``-1`` means "has not happened".
+    """
+
+    addr: int
+    access: AccessType
+    qos_id: int
+    core_id: int
+    size: int = 64
+    req_id: int = field(default_factory=next_request_id)
+
+    # lifecycle timestamps
+    created_at: int = -1          # L2 miss detected
+    released_at: int = -1         # passed the pacer onto the NoC
+    arrived_mc_at: int = -1       # entered a memory-controller front-end queue
+    dispatched_at: int = -1       # moved to a back-end bank queue
+    issued_at: int = -1           # bank access began
+    completed_at: int = -1        # data transfer finished
+
+    # routing / mechanism state
+    mc_id: int = -1
+    bank_id: int = -1
+    row_id: int = -1
+    l3_hit: bool = False
+    caused_writeback: bool = False
+    virtual_deadline: int = 0
+
+    @property
+    def is_read(self) -> bool:
+        return self.access is AccessType.READ
+
+    @property
+    def is_memory_write(self) -> bool:
+        """True for transactions that occupy the write path at the MC."""
+        return self.access in (AccessType.WRITE, AccessType.WRITEBACK)
+
+    @property
+    def total_latency(self) -> int:
+        """Cycles from L2 miss to completion (requires completion)."""
+        if self.completed_at < 0 or self.created_at < 0:
+            raise ValueError(f"request {self.req_id} has not completed")
+        return self.completed_at - self.created_at
+
+    @property
+    def pacer_delay(self) -> int:
+        """Cycles the request waited at the source governor."""
+        if self.released_at < 0 or self.created_at < 0:
+            raise ValueError(f"request {self.req_id} was never released")
+        return self.released_at - self.created_at
+
+    @property
+    def queue_delay(self) -> int:
+        """Cycles spent waiting in MC queues before the bank access began."""
+        if self.issued_at < 0 or self.arrived_mc_at < 0:
+            raise ValueError(f"request {self.req_id} was never issued to a bank")
+        return self.issued_at - self.arrived_mc_at

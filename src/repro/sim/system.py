@@ -1,0 +1,361 @@
+"""System builder and runner.
+
+``System`` wires the full machine of Fig. 2 — cores with private L2s, a
+shared sliced L3 over a latency-modelled mesh, and per-channel memory
+controllers — and threads a pluggable :class:`~repro.sim.mechanism.QoSMechanism`
+through the three points PABST instruments:
+
+* the L2 miss path (source pacing),
+* the response path (L3-hit undo and writeback charging),
+* the memory-controller scheduler (target arbitration).
+
+Two queueing details matter for reproducing the paper's motivation figure:
+requests that find a full MC front-end queue wait in a FIFO *outside* the
+controller (so a target-only arbiter cannot reorder them — the Fig. 1b
+failure), and the MSHR file caps each core's outstanding misses (so a
+latency-sensitive workload's bandwidth collapses with latency — Fig. 1c).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyOutcome, HitLevel
+from repro.cache.partition import WayPartition
+from repro.core.saturation import SaturationMonitor
+from repro.cpu.model import Core
+from repro.cpu.mshr import AllocationResult, MshrFile
+from repro.dram.controller import MemoryController
+from repro.qos.classes import QoSRegistry
+from repro.qos.monitor import BandwidthMonitor
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Engine
+from repro.sim.mechanism import QoSMechanism
+from repro.sim.records import AccessType, MemoryRequest
+from repro.sim.stats import Stats
+from repro.sim.topology import AddressMap, MeshTopology
+from repro.workloads.base import Access, Workload
+
+__all__ = ["System"]
+
+
+class System:
+    """A complete simulated machine executing one workload per core."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        registry: QoSRegistry,
+        workloads: dict[int, Workload],
+        mechanism: QoSMechanism | None = None,
+        seed: int = 0,
+        sample_latencies: bool = False,
+    ) -> None:
+        if not workloads:
+            raise ValueError("need at least one core running a workload")
+        for core_id in workloads:
+            if not 0 <= core_id < config.cores:
+                raise ValueError(f"core {core_id} outside config.cores={config.cores}")
+            registry.class_of_core(core_id)  # raises if unassigned
+
+        self.config = config
+        self.registry = registry
+        self.engine = Engine(seed)
+        self.stats = Stats(sample_latencies=sample_latencies)
+        self.topology = MeshTopology(config)
+        self.address_map = AddressMap(config, num_slices=config.cores)
+        self.hierarchy = CacheHierarchy(
+            config, self.address_map, self._build_partition(), seed=seed
+        )
+        self.mechanism = mechanism if mechanism is not None else QoSMechanism()
+
+        self.controllers = [
+            MemoryController(self.engine, mc_id, config, self.address_map, self.stats)
+            for mc_id in range(config.num_mcs)
+        ]
+        # Overflow for requests that found a full front-end queue.  Reads
+        # back up in per-source FIFOs admitted round-robin (modelling NoC
+        # injection arbitration: each core gets a fair share of slots, but
+        # no slot ever reflects QoS priority -- the Fig. 1b failure mode);
+        # writes back up in one FIFO per controller.
+        self._mc_pending_reads: list[dict[int, deque[MemoryRequest]]] = [
+            {} for _ in range(config.num_mcs)
+        ]
+        self._mc_rr_pointer: list[int] = [0] * config.num_mcs
+        self._mc_pending_writes: list[deque[MemoryRequest]] = [
+            deque() for _ in range(config.num_mcs)
+        ]
+        for controller in self.controllers:
+            controller.on_read_complete = self._on_read_complete
+            controller.add_space_listener(self._on_mc_space)
+
+        self.cores: dict[int, Core] = {
+            core_id: Core(
+                engine=self.engine,
+                core_id=core_id,
+                qos_id=registry.class_of_core(core_id),
+                workload=workload,
+                access_fn=self._core_access,
+                on_instructions=self.stats.record_instructions,
+            )
+            for core_id, workload in sorted(workloads.items())
+        }
+        self._mshrs = {
+            core_id: MshrFile(config.l2_mshrs) for core_id in self.cores
+        }
+        self._stalled: dict[int, deque] = {core_id: deque() for core_id in self.cores}
+
+        self.saturation = SaturationMonitor(
+            self.controllers, threshold_fraction=config.sat_threshold_fraction
+        )
+        self.bandwidth_monitor = BandwidthMonitor(
+            self.stats, peak_bytes_per_cycle=config.peak_bandwidth
+        )
+
+        self.mechanism.attach(self)
+        for controller in self.controllers:
+            policy = self.mechanism.mc_policy(controller.mc_id)
+            if policy is not None:
+                controller.policy = policy
+
+        self._epochs_started = False
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _build_partition(self) -> WayPartition | None:
+        """Exclusive L3 way partition from the classes' ``l3_ways`` fields."""
+        way_counts = {
+            qos_class.qos_id: qos_class.l3_ways
+            for qos_class in self.registry.classes
+            if qos_class.l3_ways is not None
+        }
+        if not way_counts:
+            return None
+        return WayPartition.exclusive(self.config.l3_assoc, way_counts)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, cycles: int) -> None:
+        """Advance the simulation by ``cycles`` (callable repeatedly)."""
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        for core in self.cores.values():
+            core.start()
+        if not self._epochs_started:
+            self._epochs_started = True
+            self.engine.schedule(self.config.epoch_cycles, self._epoch_tick)
+        self.engine.run_until(self.engine.now + cycles)
+
+    def run_epochs(self, epochs: int) -> None:
+        """Advance by a whole number of QoS epochs."""
+        self.run(epochs * self.config.epoch_cycles)
+
+    def finalize(self) -> None:
+        """Close open accounting windows; call once after the last run()."""
+        for controller in self.controllers:
+            controller.finalize()
+
+    def _epoch_tick(self) -> None:
+        saturated = self.saturation.sample()
+        self.mechanism.on_epoch(saturated, tuple(self.saturation.last_signals))
+        self.stats.close_epoch(
+            self.engine.now,
+            saturated=saturated,
+            multiplier=self.mechanism.multiplier(),
+        )
+        self.engine.schedule(self.config.epoch_cycles, self._epoch_tick)
+
+    # ------------------------------------------------------------------
+    # memory-access path (called by cores)
+    # ------------------------------------------------------------------
+    def _core_access(
+        self, core: Core, access: Access, done: Callable[[], None]
+    ) -> None:
+        outcome = self.hierarchy.access(
+            core.core_id, access.addr, access.is_write, core.qos_id
+        )
+        if outcome.level is HitLevel.L2:
+            self.engine.schedule(self.config.l2_latency, done)
+            return
+        self._start_miss(core, access, outcome, done)
+
+    def _start_miss(
+        self,
+        core: Core,
+        access: Access,
+        outcome: HierarchyOutcome,
+        done: Callable[[], None],
+    ) -> None:
+        line = self.address_map.line_of(access.addr)
+        result = self._mshrs[core.core_id].allocate(line, done)
+        if result is AllocationResult.FULL:
+            self._stalled[core.core_id].append((core, access, outcome, done))
+            return
+        if result is AllocationResult.MERGED:
+            return
+        self._launch(core, access, outcome)
+
+    def _launch(self, core: Core, access: Access, outcome: HierarchyOutcome) -> None:
+        req = MemoryRequest(
+            addr=access.addr,
+            access=AccessType.READ,
+            qos_id=core.qos_id,
+            core_id=core.core_id,
+            size=self.config.line_bytes,
+        )
+        req.created_at = self.engine.now
+        req.l3_hit = outcome.level is HitLevel.L3
+        req.caused_writeback = (
+            self.config.writeback_accounting == "demand"
+            and bool(outcome.mem_writebacks)
+        )
+        self.mechanism.request_release(
+            core.core_id, req, lambda: self._inject(core, req, outcome)
+        )
+
+    def _inject(self, core: Core, req: MemoryRequest, outcome: HierarchyOutcome) -> None:
+        """The request passed the pacer and enters the SoC network."""
+        req.released_at = self.engine.now
+        slice_tile = outcome.l3_slice if outcome.l3_slice >= 0 else core.core_id
+        to_slice = self.topology.tile_to_tile_latency(core.core_id, slice_tile)
+        if req.l3_hit:
+            delay = 2 * to_slice + self.config.l3_latency
+            self.engine.schedule(delay, self._respond, core, req)
+            return
+
+        req.mc_id = self.address_map.mc_of(req.addr)
+        delay = (
+            to_slice
+            + self.config.l3_latency
+            + self.topology.tile_to_mc_latency(slice_tile, req.mc_id)
+        )
+        self.engine.schedule(delay, self._deliver, req)
+        for writeback in outcome.mem_writebacks:
+            self._send_writeback(core, writeback, slice_tile)
+
+    def _send_writeback(self, core: Core, info, slice_tile: int) -> None:
+        """Dirty L3 eviction: a memory write, attributed per Section V-C.
+
+        Under ``demand`` accounting (the paper's choice) the triggering
+        class pays — both in bandwidth attribution and via the response
+        flag that makes its pacer charge an extra period.  Under ``owner``
+        accounting the class that wrote the data pays, and its pacers are
+        charged directly.
+        """
+        if self.config.writeback_accounting == "owner":
+            qos_id = info.owner_qos_id
+            self.mechanism.charge_class_writeback(qos_id)
+        else:
+            qos_id = core.qos_id
+        wb = MemoryRequest(
+            addr=info.addr,
+            access=AccessType.WRITEBACK,
+            qos_id=qos_id,
+            core_id=core.core_id,
+            size=self.config.line_bytes,
+        )
+        wb.created_at = self.engine.now
+        wb.released_at = self.engine.now
+        wb.mc_id = self.address_map.mc_of(info.addr)
+        delay = self.topology.tile_to_mc_latency(slice_tile, wb.mc_id)
+        self.engine.schedule(delay, self._deliver, wb)
+
+    def _deliver(self, req: MemoryRequest) -> None:
+        """Arrival at the MC; a full front-end queue backs up outside it."""
+        if req.is_memory_write:
+            pending = self._mc_pending_writes[req.mc_id]
+            if pending or not self.controllers[req.mc_id].try_enqueue(req):
+                pending.append(req)
+            return
+        pending_reads = self._mc_pending_reads[req.mc_id]
+        per_core = pending_reads.get(req.core_id)
+        if per_core:
+            per_core.append(req)
+            return
+        if not self.controllers[req.mc_id].try_enqueue(req):
+            if per_core is None:
+                per_core = deque()
+                pending_reads[req.core_id] = per_core
+            per_core.append(req)
+
+    def _admit_pending_reads(self, mc_id: int) -> None:
+        """Round-robin one-per-core admission of backpressured reads."""
+        controller = self.controllers[mc_id]
+        pending = self._mc_pending_reads[mc_id]
+        while True:
+            sources = sorted(core for core, queue in pending.items() if queue)
+            if not sources:
+                return
+            start = self._mc_rr_pointer[mc_id]
+            ordered = [c for c in sources if c >= start] + [
+                c for c in sources if c < start
+            ]
+            admitted_any = False
+            for core in ordered:
+                queue = pending[core]
+                if not controller.try_enqueue(queue[0]):
+                    return
+                queue.popleft()
+                if not queue:
+                    del pending[core]
+                self._mc_rr_pointer[mc_id] = core + 1
+                admitted_any = True
+            if not admitted_any:
+                return
+
+    def _on_mc_space(self, mc_id: int) -> None:
+        self._admit_pending_reads(mc_id)
+        controller = self.controllers[mc_id]
+        pending_writes = self._mc_pending_writes[mc_id]
+        while pending_writes:
+            if not controller.try_enqueue(pending_writes[0]):
+                break
+            pending_writes.popleft()
+
+    def _on_read_complete(self, req: MemoryRequest) -> None:
+        core = self.cores.get(req.core_id)
+        if core is None:
+            return
+        delay = self.topology.tile_to_mc_latency(core.core_id, req.mc_id)
+        self.engine.schedule(delay, self._respond, core, req)
+
+    def _respond(self, core: Core, req: MemoryRequest) -> None:
+        """Response reached the source tile: notify mechanism, wake waiters."""
+        if req.completed_at < 0:
+            req.completed_at = self.engine.now  # L3 hit completes locally
+        self.mechanism.on_response(core.core_id, req)
+        line = self.address_map.line_of(req.addr)
+        for callback in self._mshrs[core.core_id].complete(line):
+            callback()
+        self._drain_stalled(core.core_id)
+
+    def _drain_stalled(self, core_id: int) -> None:
+        queue = self._stalled[core_id]
+        mshrs = self._mshrs[core_id]
+        while queue:
+            core, access, outcome, done = queue[0]
+            line = self.address_map.line_of(access.addr)
+            result = mshrs.allocate(line, done)
+            if result is AllocationResult.FULL:
+                return
+            queue.popleft()
+            if result is AllocationResult.NEW:
+                self._launch(core, access, outcome)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def peak_bandwidth(self) -> float:
+        return self.config.peak_bandwidth
+
+    def outstanding_misses(self, core_id: int) -> int:
+        return self._mshrs[core_id].outstanding
+
+    def blocked_at_mc(self, mc_id: int) -> int:
+        """Requests queued outside a full controller (not arbitrable)."""
+        reads = sum(len(q) for q in self._mc_pending_reads[mc_id].values())
+        return reads + len(self._mc_pending_writes[mc_id])

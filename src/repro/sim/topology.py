@@ -1,0 +1,137 @@
+"""Tiled SoC topology and physical address mapping.
+
+The paper's baseline is an 8x4 tiled SoC: every tile holds a CPU, private
+caches, and one slice of the shared L3; memory controllers sit on the mesh
+edges.  The interconnect is modelled as latency only (hop count times per-hop
+cycles) because the paper explicitly assumes NoC bandwidth is provisioned for
+peak memory throughput.
+
+Addresses are hashed uniformly across L3 slices and memory controllers, the
+paper's stated assumption for keeping the global wired-OR SAT signal
+meaningful (Section III-C1).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.sim.config import SystemConfig
+
+__all__ = ["AddressMap", "MeshTopology"]
+
+
+def _mix_bits(value: int) -> int:
+    """Cheap deterministic 64-bit mix (xorshift-multiply) for address hashing."""
+    value &= (1 << 64) - 1
+    value ^= value >> 33
+    value = (value * 0xFF51AFD7ED558CCD) & ((1 << 64) - 1)
+    value ^= value >> 33
+    return value
+
+
+class AddressMap:
+    """Maps a physical address to line, L3 slice, MC, bank, and DRAM row."""
+
+    def __init__(self, config: SystemConfig, num_slices: int) -> None:
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._num_mcs = config.num_mcs
+        self._banks = config.banks_per_mc
+        self._lines_per_row = config.lines_per_row
+        self._num_slices = max(1, num_slices)
+        self._hash_mcs = config.mc_interleave == "hash"
+
+    @property
+    def num_mcs(self) -> int:
+        return self._num_mcs
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def slice_of(self, addr: int) -> int:
+        """L3 slice index for an address (uniform hash)."""
+        return _mix_bits(self.line_of(addr)) % self._num_slices
+
+    def mc_of(self, addr: int) -> int:
+        """Memory controller index.
+
+        Uniform hash by default (the paper's assumption); with the
+        ``low-bits`` interleave a strided access pattern can concentrate
+        on one controller, the scenario where the global wired-OR SAT
+        signal over-throttles and per-controller governors help.
+        """
+        line = self.line_of(addr)
+        if not self._hash_mcs:
+            return line % self._num_mcs
+        return (_mix_bits(line ^ 0x9E3779B97F4A7C15) >> 8) % self._num_mcs
+
+    def bank_of(self, addr: int) -> int:
+        line = self.line_of(addr)
+        return (line // self._num_mcs) % self._banks
+
+    def row_of(self, addr: int) -> int:
+        """DRAM row id within the bank, for row-hit detection."""
+        line = self.line_of(addr)
+        return line // (self._num_mcs * self._banks * self._lines_per_row)
+
+
+class MeshTopology:
+    """2D mesh of tiles with memory controllers on the left/right edges.
+
+    Provides hop distances used to compute interconnect latency.  Built on a
+    :func:`networkx.grid_2d_graph` so distances come from actual shortest
+    paths rather than hand-rolled Manhattan arithmetic (they coincide on a
+    full mesh, which the tests assert).
+    """
+
+    def __init__(self, config: SystemConfig) -> None:
+        self._cols = config.mesh_cols
+        self._rows = config.mesh_rows
+        self._hop_cycles = config.noc_hop_cycles
+        self._base_cycles = config.noc_base_cycles
+        self._graph = nx.grid_2d_graph(self._cols, self._rows)
+        self._tile_coords = [
+            (index % self._cols, index // self._cols)
+            for index in range(self._cols * self._rows)
+        ]
+        self._mc_coords = self._place_mcs(config.num_mcs)
+        self._distance = dict(nx.all_pairs_shortest_path_length(self._graph))
+
+    def _place_mcs(self, num_mcs: int) -> list[tuple[int, int]]:
+        """Spread MCs across the left and right mesh edges (paper Fig. 2)."""
+        coords: list[tuple[int, int]] = []
+        for index in range(num_mcs):
+            side = index % 2
+            slot = index // 2
+            col = 0 if side == 0 else self._cols - 1
+            row = (slot * max(1, self._rows // max(1, (num_mcs + 1) // 2))) % self._rows
+            coord = (col, row)
+            # avoid stacking two controllers on the same tile when possible
+            attempts = 0
+            while coord in coords and attempts < self._rows:
+                coord = (col, (coord[1] + 1) % self._rows)
+                attempts += 1
+            coords.append(coord)
+        return coords
+
+    @property
+    def num_tiles(self) -> int:
+        return self._cols * self._rows
+
+    def tile_coord(self, tile: int) -> tuple[int, int]:
+        return self._tile_coords[tile]
+
+    def mc_coord(self, mc_id: int) -> tuple[int, int]:
+        return self._mc_coords[mc_id]
+
+    def hops(self, src: tuple[int, int], dst: tuple[int, int]) -> int:
+        return self._distance[src][dst]
+
+    def tile_to_tile_latency(self, src_tile: int, dst_tile: int) -> int:
+        """One-way NoC latency between two tiles, in cycles."""
+        hops = self.hops(self._tile_coords[src_tile], self._tile_coords[dst_tile])
+        return self._base_cycles + hops * self._hop_cycles
+
+    def tile_to_mc_latency(self, tile: int, mc_id: int) -> int:
+        """One-way NoC latency from a tile to a memory controller."""
+        hops = self.hops(self._tile_coords[tile], self._mc_coords[mc_id])
+        return self._base_cycles + hops * self._hop_cycles

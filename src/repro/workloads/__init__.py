@@ -1,0 +1,14 @@
+"""Workload generators: microbenchmarks, SPEC proxies, memcached proxy."""
+
+from repro.workloads.base import Access, Workload
+from repro.workloads.chaser import ChaserWorkload
+from repro.workloads.memcached import MemcachedWorkload
+from repro.workloads.periodic import PeriodicStreamWorkload
+from repro.workloads.spec import SPEC_PROFILES, SpecProfile, SpecProxyWorkload, spec_workload
+from repro.workloads.stream import StreamWorkload, l3_resident_stream
+
+__all__ = [
+    "Access", "ChaserWorkload", "MemcachedWorkload", "PeriodicStreamWorkload",
+    "SPEC_PROFILES", "SpecProfile", "SpecProxyWorkload", "StreamWorkload",
+    "Workload", "l3_resident_stream", "spec_workload",
+]

@@ -1,0 +1,102 @@
+"""Streaming microbenchmarks (paper Section IV-A).
+
+``stream`` walks an array at a fixed stride with fully independent accesses,
+so its performance is limited only by available bandwidth.  Variants cover
+the paper's read stream, write stream (Fig. 1/7 uses write streamers), and
+the L3-resident stream used in the excess-distribution experiment (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Access, Workload
+
+__all__ = ["StreamWorkload", "l3_resident_stream"]
+
+
+class StreamWorkload(Workload):
+    """Hand-optimized streaming kernel: independent strided accesses.
+
+    Parameters
+    ----------
+    working_set_bytes:
+        Size of the array streamed through (wraps around).  Choose it far
+        above the class's L3 partition for a DDR stream, or below it for a
+        cache-resident stream.
+    stride_bytes:
+        Distance between successive accesses; the paper's streamer uses a
+        128-byte stride (two cache lines).
+    write_fraction:
+        Fraction of accesses that are stores (write-allocate; dirty lines
+        produce writeback bandwidth on eviction).
+    contexts:
+        Number of independent access chains; streams use a high count so the
+        MSHR file, not dependencies, is the limiter.
+    gap:
+        Compute cycles between accesses of one chain.
+    """
+
+    def __init__(
+        self,
+        working_set_bytes: int = 64 << 20,
+        stride_bytes: int = 128,
+        write_fraction: float = 0.0,
+        contexts: int = 16,
+        gap: int = 0,
+        instructions_per_access: int = 4,
+        start_offset_bytes: int = 0,
+        name: str = "stream",
+    ) -> None:
+        super().__init__()
+        if working_set_bytes <= 0:
+            raise ValueError("working_set_bytes must be positive")
+        if stride_bytes <= 0:
+            raise ValueError("stride_bytes must be positive")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if contexts <= 0:
+            raise ValueError("contexts must be positive")
+        if start_offset_bytes < 0:
+            raise ValueError("start_offset_bytes must be non-negative")
+        self.name = name
+        self.contexts = contexts
+        self._working_set = working_set_bytes
+        self._stride = stride_bytes
+        self._write_fraction = write_fraction
+        self._gap = gap
+        self._inst = instructions_per_access
+        self._offset = start_offset_bytes
+        self._cursor = 0
+
+    def next_access(self, context: int) -> Access | None:
+        offset = self._cursor % self._working_set
+        self._cursor += self._stride
+        is_write = (
+            self._write_fraction > 0.0
+            and self.rng.random() < self._write_fraction
+        )
+        return Access(
+            addr=self.base_addr + self._offset + offset,
+            is_write=is_write,
+            gap=self._gap,
+            instructions=self._inst,
+        )
+
+
+def l3_resident_stream(
+    partition_bytes: int,
+    contexts: int = 8,
+    name: str = "l3-stream",
+) -> StreamWorkload:
+    """A streamer whose working set fits in its L3 partition (Fig. 8).
+
+    After one warm-up pass it stops generating memory traffic; the
+    interesting question is where its unused bandwidth allocation goes.
+    """
+    if partition_bytes <= 0:
+        raise ValueError("partition_bytes must be positive")
+    return StreamWorkload(
+        working_set_bytes=max(4096, partition_bytes // 2),
+        stride_bytes=64,
+        contexts=contexts,
+        name=name,
+    )

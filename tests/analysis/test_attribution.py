@@ -1,0 +1,90 @@
+"""Tests for latency attribution."""
+
+import pytest
+
+from repro.analysis.attribution import (
+    attribute_latency,
+    attribution_table,
+)
+from repro.baselines.source_only import SourceOnlyMechanism
+from repro.baselines.target_only import TargetOnlyMechanism
+from repro.qos.classes import QoSRegistry
+from repro.sim.config import SystemConfig
+from repro.sim.records import AccessType, MemoryRequest
+from repro.sim.stats import Stats
+from repro.sim.system import System
+from repro.workloads.chaser import ChaserWorkload
+from repro.workloads.stream import StreamWorkload
+
+
+def attributed_request(qos_id=0, pacer=10, noc=20, queue=30, service=40):
+    req = MemoryRequest(addr=0x40, access=AccessType.READ, qos_id=qos_id, core_id=0)
+    req.created_at = 0
+    req.released_at = pacer
+    req.arrived_mc_at = pacer + noc
+    req.issued_at = pacer + noc + queue
+    req.completed_at = pacer + noc + queue + service
+    return req
+
+
+class TestUnit:
+    def test_stage_sums(self):
+        stats = Stats()
+        stats.record_completion(attributed_request())
+        stats.record_completion(attributed_request(pacer=30))
+        attribution = attribute_latency(stats, 0)
+        assert attribution.reads == 2
+        assert attribution.pacer == pytest.approx(20.0)
+        assert attribution.noc == pytest.approx(20.0)
+        assert attribution.queue == pytest.approx(30.0)
+        assert attribution.service == pytest.approx(40.0)
+        assert attribution.total == pytest.approx(110.0)
+        assert attribution.fraction("queue") == pytest.approx(30 / 110)
+
+    def test_empty_class(self):
+        attribution = attribute_latency(Stats(), 5)
+        assert attribution.reads == 0
+        assert attribution.total == 0.0
+        assert attribution.fraction("pacer") == 0.0
+
+    def test_table_renders(self):
+        stats = Stats()
+        stats.record_completion(attributed_request())
+        text = attribution_table(stats)
+        assert "pacer" in text and "service" in text
+
+
+class TestMechanismSignatures:
+    """The breakdown explains each regulator's behaviour (DESIGN.md)."""
+
+    def _run(self, mechanism):
+        config = SystemConfig.default_experiment(cores=8, num_mcs=2)
+        registry = QoSRegistry()
+        registry.define_class(0, "chaser", weight=3, l3_ways=8)
+        registry.define_class(1, "stream", weight=1, l3_ways=8)
+        workloads = {}
+        for core in range(4):
+            registry.assign_core(core, 0)
+            workloads[core] = ChaserWorkload(chains=8)
+        for core in range(4, 8):
+            registry.assign_core(core, 1)
+            workloads[core] = StreamWorkload(write_fraction=1.0)
+        system = System(config, registry, workloads, mechanism=mechanism)
+        system.run_epochs(60)
+        system.finalize()
+        return system.stats
+
+    def test_source_only_throttles_the_low_class_at_the_pacer(self):
+        stats = self._run(SourceOnlyMechanism())
+        low = attribute_latency(stats, 1)
+        high = attribute_latency(stats, 0)
+        # the 1-weight streamer pays heavily at its pacer; the chaser not
+        assert low.pacer > 4 * max(1.0, high.pacer)
+
+    def test_target_only_cuts_queueing_for_the_high_class(self):
+        stats = self._run(TargetOnlyMechanism())
+        low = attribute_latency(stats, 1)
+        high = attribute_latency(stats, 0)
+        assert high.queue < low.queue
+        # and nobody pays pacer time without a governor
+        assert high.pacer == 0.0 and low.pacer == 0.0

@@ -1,0 +1,101 @@
+"""Unit and property tests for the paper's metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.metrics import (
+    allocation_error,
+    bandwidth_shares,
+    percentile,
+    share_error_per_class,
+    weighted_slowdown,
+)
+
+
+class TestBandwidthShares:
+    def test_normalizes(self):
+        shares = bandwidth_shares({0: 300, 1: 100})
+        assert shares == {0: 0.75, 1: 0.25}
+
+    def test_empty_traffic_gives_zero_shares(self):
+        assert bandwidth_shares({0: 0, 1: 0}) == {0: 0.0, 1: 0.0}
+
+
+class TestAllocationError:
+    def test_exact_allocation_is_zero_error(self):
+        assert allocation_error({0: 300, 1: 100}, {0: 3, 1: 1}) == pytest.approx(0.0)
+
+    def test_starved_class_is_full_error(self):
+        assert allocation_error({0: 400, 1: 0}, {0: 1, 1: 1}) == pytest.approx(1.0)
+
+    def test_equal_split_under_3to1_weights(self):
+        # lo class gets 0.5 instead of 0.25 -> 100% over-entitlement
+        error = allocation_error({0: 100, 1: 100}, {0: 3, 1: 1})
+        assert error == pytest.approx(1.0)
+
+    def test_mismatched_classes_rejected(self):
+        with pytest.raises(ValueError):
+            allocation_error({0: 1}, {0: 1, 1: 1})
+
+    def test_signed_errors(self):
+        errors = share_error_per_class({0: 100, 1: 100}, {0: 3, 1: 1})
+        assert errors[0] < 0 < errors[1]
+
+
+class TestWeightedSlowdown:
+    def test_no_interference_is_one(self):
+        assert weighted_slowdown([1.0, 2.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_halved_ipc_is_two(self):
+        assert weighted_slowdown([1.0, 1.0], [0.5, 0.5]) == pytest.approx(2.0)
+
+    def test_harmonic_combination(self):
+        # one copy unharmed, one at half speed
+        value = weighted_slowdown([1.0, 1.0], [1.0, 0.5])
+        assert value == pytest.approx(2 / 1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_slowdown([], [])
+        with pytest.raises(ValueError):
+            weighted_slowdown([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_slowdown([0.0], [1.0])
+        with pytest.raises(ValueError):
+            weighted_slowdown([1.0], [0.0])
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_empty_is_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+@given(
+    counts=st.dictionaries(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_property_shares_sum_to_one_or_zero(counts):
+    shares = bandwidth_shares(counts)
+    total = sum(shares.values())
+    assert total == pytest.approx(1.0) or total == 0.0
+
+
+@given(
+    weights=st.lists(st.integers(min_value=1, max_value=16), min_size=1, max_size=5),
+    scale=st.integers(min_value=1, max_value=1000),
+)
+def test_property_perfect_allocation_has_zero_error(weights, scale):
+    table = {index: weight for index, weight in enumerate(weights)}
+    observed = {index: weight * scale for index, weight in table.items()}
+    assert allocation_error(observed, table) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,50 @@
+"""Unit tests for text reports."""
+
+import pytest
+
+from repro.analysis.report import format_series, format_table, sparkline
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["name", "value"], [("a", 1.5), ("bb", 2)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.500" in text
+        assert "bb" in text
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([0.0, 0.5, 1.0])) == 3
+
+    def test_monotone_values_monotone_glyphs(self):
+        line = sparkline([0.0, 0.25, 0.5, 0.75, 1.0])
+        ordered = " .:-=+*#%@"
+        positions = [ordered.index(c) for c in line]
+        assert positions == sorted(positions)
+
+    def test_clamps_out_of_range(self):
+        line = sparkline([-1.0, 2.0])
+        assert line[0] == " " and line[1] == "@"
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            sparkline([0.5], lo=1.0, hi=1.0)
+
+
+class TestFormatSeries:
+    def test_includes_stats(self):
+        text = format_series("lbl", [0.2, 0.4])
+        assert "min=0.20" in text and "max=0.40" in text and "lbl" in text
+
+    def test_empty_series(self):
+        assert "no samples" in format_series("lbl", [])

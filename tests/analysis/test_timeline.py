@@ -1,0 +1,79 @@
+"""Unit tests for bandwidth timelines."""
+
+import pytest
+
+from repro.analysis.timeline import BandwidthTimeline
+from repro.sim.stats import EpochSample
+
+
+def sample(epoch, start, end, by_class, saturated=False, multiplier=-1):
+    return EpochSample(
+        epoch=epoch, start_cycle=start, end_cycle=end,
+        bytes_by_class=by_class, saturated=saturated, multiplier=multiplier,
+    )
+
+
+def make_timeline():
+    epochs = [
+        sample(0, 0, 100, {0: 400, 1: 400}, saturated=True, multiplier=4),
+        sample(1, 100, 200, {0: 600, 1: 200}, multiplier=8),
+        sample(2, 200, 300, {0: 750, 1: 250}, multiplier=8),
+    ]
+    return BandwidthTimeline(epochs, peak_bytes_per_cycle=16.0)
+
+
+class TestSeries:
+    def test_utilization_series(self):
+        timeline = make_timeline()
+        assert timeline.utilization_series(0) == [
+            pytest.approx(4 / 16), pytest.approx(6 / 16), pytest.approx(7.5 / 16)
+        ]
+
+    def test_share_series(self):
+        timeline = make_timeline()
+        assert timeline.share_series(0) == [
+            pytest.approx(0.5), pytest.approx(0.75), pytest.approx(0.75)
+        ]
+
+    def test_total_utilization_series(self):
+        timeline = make_timeline()
+        assert timeline.total_utilization_series()[0] == pytest.approx(0.5)
+
+    def test_sat_and_multiplier_series(self):
+        timeline = make_timeline()
+        assert timeline.saturation_series() == [True, False, False]
+        assert timeline.multiplier_series() == [4, 8, 8]
+
+    def test_len(self):
+        assert len(make_timeline()) == 3
+
+
+class TestWindows:
+    def test_window_summary(self):
+        summary = make_timeline().window(0, start=1)
+        assert summary.mean_share == pytest.approx(0.75)
+        assert summary.min_share == pytest.approx(0.75)
+        assert summary.mean_utilization == pytest.approx((6 / 16 + 7.5 / 16) / 2)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            make_timeline().window(0, start=99)
+
+    def test_steady_share_skips_warmup(self):
+        timeline = make_timeline()
+        assert timeline.steady_share(0, warmup_epochs=1) == pytest.approx(0.75)
+        assert timeline.steady_share(0, warmup_epochs=0) == pytest.approx(
+            1750 / 2600
+        )
+
+    def test_steady_bytes(self):
+        assert make_timeline().steady_bytes(1) == {0: 1350, 1: 450}
+
+    def test_missing_class_is_zero(self):
+        timeline = make_timeline()
+        assert timeline.steady_share(9, warmup_epochs=0) == 0.0
+        assert all(v == 0.0 for v in timeline.utilization_series(9))
+
+    def test_peak_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthTimeline([], peak_bytes_per_cycle=0)

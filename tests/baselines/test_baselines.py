@@ -1,0 +1,86 @@
+"""Unit tests for the baseline mechanisms."""
+
+import pytest
+
+from repro.baselines.none import NoQosMechanism
+from repro.baselines.source_only import SourceOnlyMechanism
+from repro.baselines.static_partition import static_partition_config
+from repro.baselines.target_only import TargetOnlyMechanism
+from repro.core.config import PabstConfig
+from repro.qos.classes import QoSRegistry
+from repro.sim.config import SystemConfig
+from repro.sim.records import AccessType, MemoryRequest
+from repro.sim.system import System
+from repro.workloads.stream import StreamWorkload
+
+
+def make_system(mechanism):
+    config = SystemConfig.small_test()
+    registry = QoSRegistry()
+    registry.define_class(0, "a", weight=1)
+    registry.define_class(1, "b", weight=1)
+    registry.assign_core(0, 0)
+    registry.assign_core(1, 1)
+    workloads = {core: StreamWorkload() for core in range(2)}
+    return System(config, registry, workloads, mechanism=mechanism)
+
+
+class TestNoQos:
+    def test_name(self):
+        assert NoQosMechanism().name == "none"
+
+    def test_release_is_immediate(self):
+        mechanism = NoQosMechanism()
+        released = []
+        req = MemoryRequest(addr=0, access=AccessType.READ, qos_id=0, core_id=0)
+        mechanism.request_release(0, req, lambda: released.append(True))
+        assert released == [True]
+
+    def test_no_mc_policy_override(self):
+        assert NoQosMechanism().mc_policy(0) is None
+
+    def test_multiplier_not_applicable(self):
+        assert NoQosMechanism().multiplier() == -1
+
+
+class TestSourceOnly:
+    def test_has_governors_no_arbiters(self):
+        mechanism = SourceOnlyMechanism()
+        make_system(mechanism)
+        assert mechanism.pacers and not mechanism.arbiters
+        assert mechanism.name == "source-only"
+
+    def test_accepts_custom_config(self):
+        mechanism = SourceOnlyMechanism(PabstConfig(inertia=9))
+        assert mechanism.config.inertia == 9
+
+
+class TestTargetOnly:
+    def test_has_arbiters_no_governors(self):
+        mechanism = TargetOnlyMechanism()
+        make_system(mechanism)
+        assert mechanism.arbiters and not mechanism.pacers
+        assert mechanism.name == "target-only"
+
+    def test_release_is_immediate_without_governor(self):
+        mechanism = TargetOnlyMechanism()
+        make_system(mechanism)
+        released = []
+        req = MemoryRequest(addr=0, access=AccessType.READ, qos_id=0, core_id=0)
+        mechanism.request_release(0, req, lambda: released.append(True))
+        assert released == [True]
+
+
+class TestStaticPartition:
+    def test_quarter_bandwidth(self):
+        base = SystemConfig.default_experiment()
+        scaled = static_partition_config(base, 4)
+        assert scaled.peak_bandwidth == pytest.approx(base.peak_bandwidth / 4)
+
+    def test_identity(self):
+        base = SystemConfig.default_experiment()
+        assert static_partition_config(base, 1).peak_bandwidth == base.peak_bandwidth
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            static_partition_config(SystemConfig(), 0)

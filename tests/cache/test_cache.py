@@ -1,0 +1,195 @@
+"""Unit and property tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.partition import WayPartition
+
+
+def make_cache(num_sets=4, assoc=2, partition=None, replacement="lru"):
+    return SetAssociativeCache(
+        "test", num_sets=num_sets, assoc=assoc, line_bytes=64,
+        partition=partition, replacement=replacement,
+    )
+
+
+class TestGeometry:
+    def test_capacity(self):
+        assert make_cache(num_sets=4, assoc=2).capacity_bytes == 4 * 2 * 64
+
+    def test_line_and_set_mapping(self):
+        cache = make_cache(num_sets=4)
+        assert cache.line_addr(0x47) == 0x40
+        assert cache.set_index(0x40) == 1
+        assert cache.set_index(0x140) == 1  # wraps modulo num_sets
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            make_cache(num_sets=3)
+
+    def test_rejects_partition_assoc_mismatch(self):
+        with pytest.raises(ValueError):
+            make_cache(assoc=2, partition=WayPartition(4))
+
+
+class TestHitMiss:
+    def test_first_access_misses_then_hits(self):
+        cache = make_cache()
+        assert not cache.access(0x100, False, qos_id=0).hit
+        assert cache.access(0x100, False, qos_id=0).hit
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_different_offset_hits(self):
+        cache = make_cache()
+        cache.access(0x100, False, 0)
+        assert cache.access(0x13F, False, 0).hit
+
+    def test_probe_does_not_allocate_or_touch(self):
+        cache = make_cache()
+        assert not cache.probe(0x100)
+        cache.access(0x100, False, 0)
+        assert cache.probe(0x100)
+        assert cache.hits == 0 and cache.misses == 1
+
+    def test_no_allocate_miss(self):
+        cache = make_cache()
+        result = cache.access(0x100, False, 0, allocate=False)
+        assert not result.hit and result.victim is None
+        assert not cache.probe(0x100)
+
+    def test_miss_rate(self):
+        cache = make_cache()
+        cache.access(0x100, False, 0)
+        cache.access(0x100, False, 0)
+        assert cache.miss_rate == 0.5
+        assert make_cache().miss_rate == 0.0
+
+
+class TestEvictionAndDirty:
+    def test_lru_victim_is_least_recent(self):
+        cache = make_cache(num_sets=1, assoc=2)
+        cache.access(0x000, False, 0)
+        cache.access(0x040, False, 0)
+        cache.access(0x000, False, 0)        # touch line 0
+        result = cache.access(0x080, False, 0)
+        assert result.victim is not None
+        assert result.victim.line_addr == 0x040
+        assert cache.probe(0x000) and not cache.probe(0x040)
+
+    def test_dirty_eviction_flagged(self):
+        cache = make_cache(num_sets=1, assoc=1)
+        cache.access(0x000, True, 0)
+        result = cache.access(0x040, False, 0)
+        assert result.dirty_eviction
+        assert cache.dirty_evictions == 1
+
+    def test_clean_eviction_not_flagged(self):
+        cache = make_cache(num_sets=1, assoc=1)
+        cache.access(0x000, False, 0)
+        result = cache.access(0x040, False, 0)
+        assert result.victim is not None and not result.dirty_eviction
+
+    def test_write_hit_marks_dirty(self):
+        cache = make_cache(num_sets=1, assoc=1)
+        cache.access(0x000, False, 0)
+        cache.access(0x000, True, 0)
+        victim = cache.access(0x040, False, 0).victim
+        assert victim is not None and victim.dirty
+
+
+class TestFillAndInvalidate:
+    def test_fill_installs_without_demand_counters(self):
+        cache = make_cache()
+        assert cache.fill(0x100, qos_id=1) is None
+        assert cache.probe(0x100)
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_fill_existing_line_merges_dirty(self):
+        cache = make_cache(num_sets=1, assoc=1)
+        cache.access(0x000, False, 0)
+        cache.fill(0x000, qos_id=0, dirty=True)
+        victim = cache.access(0x040, False, 0).victim
+        assert victim is not None and victim.dirty
+
+    def test_invalidate_returns_line(self):
+        cache = make_cache()
+        cache.access(0x100, True, 3)
+        line = cache.invalidate(0x100)
+        assert line is not None and line.dirty and line.qos_id == 3
+        assert not cache.probe(0x100)
+        assert cache.invalidate(0x100) is None
+
+
+class TestPartitioning:
+    def test_class_cannot_evict_outside_its_ways(self):
+        partition = WayPartition.exclusive(2, {0: 1, 1: 1})
+        cache = make_cache(num_sets=1, assoc=2, partition=partition)
+        cache.access(0x000, False, 0)   # class 0 fills way 0
+        cache.access(0x040, False, 1)   # class 1 fills way 1
+        cache.access(0x080, False, 1)   # class 1 must evict its own line
+        assert cache.probe(0x000)
+        assert not cache.probe(0x040)
+        assert cache.probe(0x080)
+
+    def test_hit_allowed_in_foreign_way(self):
+        partition = WayPartition.exclusive(2, {0: 1, 1: 1})
+        cache = make_cache(num_sets=1, assoc=2, partition=partition)
+        cache.access(0x000, False, 0)
+        assert cache.access(0x000, False, 1).hit  # CAT semantics
+
+    def test_occupancy_by_class(self):
+        partition = WayPartition.exclusive(4, {0: 2, 1: 2})
+        cache = make_cache(num_sets=2, assoc=4, partition=partition)
+        cache.access(0x000, False, 0)
+        cache.access(0x040, False, 1)
+        cache.access(0x080, False, 1)
+        occ = cache.occupancy_by_class()
+        assert occ == {0: 1, 1: 2}
+
+
+class TestReplacementPolicies:
+    def test_random_policy_runs(self):
+        cache = make_cache(num_sets=1, assoc=2, replacement="random")
+        for addr in range(0, 0x200, 0x40):
+            cache.access(addr, False, 0)
+        assert cache.evictions > 0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_cache(replacement="mru")
+
+
+@settings(max_examples=50)
+@given(
+    addrs=st.lists(
+        st.integers(min_value=0, max_value=0x4000).map(lambda a: a * 64),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_property_occupancy_never_exceeds_capacity(addrs):
+    cache = make_cache(num_sets=4, assoc=2)
+    for addr in addrs:
+        cache.access(addr, False, qos_id=addr % 3)
+    total = sum(cache.occupancy_by_class().values())
+    assert total <= cache.num_sets * cache.assoc
+    assert cache.hits + cache.misses == len(addrs)
+
+
+@settings(max_examples=50)
+@given(
+    addrs=st.lists(
+        st.integers(min_value=0, max_value=63).map(lambda a: a * 64),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_property_working_set_within_capacity_never_evicts_after_warm(addrs):
+    """LRU with a working set <= capacity: second pass is all hits."""
+    unique = list(dict.fromkeys(addrs))[:8]
+    cache = make_cache(num_sets=1, assoc=8)
+    for addr in unique:
+        cache.access(addr, False, 0)
+    for addr in unique:
+        assert cache.access(addr, False, 0).hit

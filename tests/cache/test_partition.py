@@ -1,0 +1,96 @@
+"""Unit tests for way-based cache partitioning."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.partition import WayPartition
+
+
+class TestMasks:
+    def test_default_mask_allows_all_ways(self):
+        partition = WayPartition(8)
+        assert partition.mask(0) == 0xFF
+        assert partition.allowed_ways(0) == tuple(range(8))
+
+    def test_set_mask(self):
+        partition = WayPartition(8)
+        partition.set_mask(1, 0b00001111)
+        assert partition.allowed_ways(1) == (0, 1, 2, 3)
+
+    def test_set_ways(self):
+        partition = WayPartition(4)
+        partition.set_ways(0, [1, 3])
+        assert partition.mask(0) == 0b1010
+
+    def test_invalid_masks_rejected(self):
+        partition = WayPartition(4)
+        with pytest.raises(ValueError):
+            partition.set_mask(0, 0)
+        with pytest.raises(ValueError):
+            partition.set_mask(0, 1 << 4)
+        with pytest.raises(ValueError):
+            partition.set_ways(0, [4])
+
+    def test_invalid_assoc_rejected(self):
+        with pytest.raises(ValueError):
+            WayPartition(0)
+
+
+class TestExclusive:
+    def test_exclusive_partitions_do_not_overlap(self):
+        partition = WayPartition.exclusive(16, {0: 8, 1: 8})
+        assert partition.is_exclusive()
+        assert set(partition.allowed_ways(0)) & set(partition.allowed_ways(1)) == set()
+        assert len(partition.allowed_ways(0)) == 8
+
+    def test_exclusive_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            WayPartition.exclusive(8, {0: 5, 1: 4})
+
+    def test_exclusive_zero_ways_rejected(self):
+        with pytest.raises(ValueError):
+            WayPartition.exclusive(8, {0: 0})
+
+    def test_overlap_detection(self):
+        partition = WayPartition(8)
+        partition.set_mask(0, 0b0011)
+        partition.set_mask(1, 0b0110)
+        assert not partition.is_exclusive()
+
+
+class TestEqualSplit:
+    def test_even_division(self):
+        partition = WayPartition.equal_split(16, [0, 1, 2, 3])
+        assert all(len(partition.allowed_ways(q)) == 4 for q in range(4))
+        assert partition.is_exclusive()
+
+    def test_remainder_goes_to_lowest_ids(self):
+        partition = WayPartition.equal_split(10, [0, 1, 2])
+        sizes = [len(partition.allowed_ways(q)) for q in range(3)]
+        assert sizes == [4, 3, 3]
+
+    def test_too_many_classes_rejected(self):
+        with pytest.raises(ValueError):
+            WayPartition.equal_split(2, [0, 1, 2])
+
+    def test_empty_classes_rejected(self):
+        with pytest.raises(ValueError):
+            WayPartition.equal_split(8, [])
+
+
+@given(
+    assoc=st.integers(min_value=1, max_value=32),
+    counts=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=6),
+)
+def test_property_exclusive_covers_exactly_requested_ways(assoc, counts):
+    way_counts = {qos: count for qos, count in enumerate(counts)}
+    if sum(counts) > assoc:
+        with pytest.raises(ValueError):
+            WayPartition.exclusive(assoc, way_counts)
+        return
+    partition = WayPartition.exclusive(assoc, way_counts)
+    assert partition.is_exclusive()
+    for qos, count in way_counts.items():
+        assert len(partition.allowed_ways(qos)) == count
+    used = [w for qos in way_counts for w in partition.allowed_ways(qos)]
+    assert len(used) == len(set(used))

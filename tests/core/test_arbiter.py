@@ -1,0 +1,170 @@
+"""Unit tests for the priority arbiter (Section III-C2)."""
+
+import pytest
+
+from repro.core.arbiter import PriorityArbiter
+from repro.dram.bank import Bank
+from repro.dram.timing import DramTiming, PagePolicy
+from repro.qos.classes import QoSRegistry
+from repro.sim.records import AccessType, MemoryRequest
+
+
+def make_registry(weights={0: 3, 1: 1}):
+    registry = QoSRegistry()
+    for qos_id, weight in weights.items():
+        registry.define_class(qos_id, f"c{qos_id}", weight=weight)
+    return registry
+
+
+def make_arbiter(weights={0: 3, 1: 1}, slack=None, row_hits_first=True):
+    registry = make_registry(weights)
+    slack = slack if slack is not None else 8 * registry.stride_scale
+    return PriorityArbiter(registry, slack=slack, row_hits_first=row_hits_first), registry
+
+
+def read(qos_id, arrived=0, bank=0, row=0, addr=0x40):
+    req = MemoryRequest(addr=addr, access=AccessType.READ, qos_id=qos_id, core_id=0)
+    req.arrived_mc_at = arrived
+    req.bank_id = bank
+    req.row_id = row
+    return req
+
+
+def write(qos_id, arrived=0, bank=0):
+    req = MemoryRequest(
+        addr=0x80, access=AccessType.WRITEBACK, qos_id=qos_id, core_id=0
+    )
+    req.arrived_mc_at = arrived
+    req.bank_id = bank
+    return req
+
+
+def closed_banks(n=4):
+    return [Bank(i, DramTiming(), PagePolicy.CLOSED) for i in range(n)]
+
+
+class TestVirtualClocks:
+    def test_clock_advances_by_stride_per_read(self):
+        arbiter, registry = make_arbiter()
+        for _ in range(3):
+            arbiter.on_accept(read(0), now=0)
+        assert arbiter.virtual_clock(0) == 3 * registry.stride(0)
+
+    def test_deadline_equals_clock_at_accept(self):
+        arbiter, registry = make_arbiter()
+        req = read(0)
+        arbiter.on_accept(req, now=0)
+        assert req.virtual_deadline == registry.stride(0)
+
+    def test_writes_not_charged(self):
+        arbiter, registry = make_arbiter()
+        arbiter.on_accept(write(0), now=0)
+        assert arbiter.virtual_clock(0) == 0
+
+    def test_lighter_class_accumulates_faster(self):
+        arbiter, registry = make_arbiter({0: 4, 1: 1})
+        a, b = read(0), read(1)
+        arbiter.on_accept(a, now=0)
+        arbiter.on_accept(b, now=0)
+        assert b.virtual_deadline > a.virtual_deadline
+
+
+class TestSlackCap:
+    def test_idle_class_deadline_capped(self):
+        arbiter, registry = make_arbiter()
+        slack = 8 * registry.stride_scale
+        # class 1 consumes heavily, pushing virtual time forward
+        for _ in range(64):
+            req = read(1)
+            arbiter.on_accept(req, now=0)
+            arbiter.pick([req], closed_banks(), now=0)
+        newcomer = read(0)
+        arbiter.on_accept(newcomer, now=0)
+        assert newcomer.virtual_deadline >= arbiter.last_picked_deadline - slack
+        assert arbiter.capped_deadlines >= 1
+
+    def test_cap_written_back_to_clock(self):
+        arbiter, registry = make_arbiter()
+        for _ in range(64):
+            req = read(1)
+            arbiter.on_accept(req, now=0)
+            arbiter.pick([req], closed_banks(), now=0)
+        newcomer = read(0)
+        arbiter.on_accept(newcomer, now=0)
+        assert arbiter.virtual_clock(0) == newcomer.virtual_deadline
+
+    def test_slack_validation(self):
+        with pytest.raises(ValueError):
+            PriorityArbiter(make_registry(), slack=0)
+
+
+class TestPick:
+    def test_earliest_deadline_first(self):
+        arbiter, _ = make_arbiter({0: 3, 1: 1})
+        hi = read(0)
+        lo = read(1)
+        arbiter.on_accept(hi, now=0)
+        arbiter.on_accept(lo, now=0)
+        assert arbiter.pick([lo, hi], closed_banks(), now=0) is hi
+
+    def test_pick_advances_last_picked(self):
+        arbiter, _ = make_arbiter()
+        req = read(0)
+        arbiter.on_accept(req, now=0)
+        arbiter.pick([req], closed_banks(), now=0)
+        assert arbiter.last_picked_deadline == req.virtual_deadline
+
+    def test_ties_break_by_arrival(self):
+        arbiter, _ = make_arbiter({0: 1, 1: 1})
+        early = read(0, arrived=1)
+        late = read(1, arrived=9)
+        arbiter.on_accept(early, now=1)
+        arbiter.on_accept(late, now=9)
+        if early.virtual_deadline == late.virtual_deadline:
+            assert arbiter.pick([late, early], closed_banks(), now=10) is early
+
+    def test_writes_served_in_arrival_order(self):
+        arbiter, _ = make_arbiter()
+        a = write(0, arrived=5)
+        b = write(1, arrived=2)
+        assert arbiter.pick([a, b], closed_banks(), now=10) is b
+
+    def test_row_hits_preferred_when_enabled(self):
+        arbiter, _ = make_arbiter({0: 3, 1: 1})
+        banks = [Bank(0, DramTiming(), PagePolicy.OPEN)]
+        banks[0].issue(now=0, row=7, data_end=8)
+        miss_hi = read(0, bank=0, row=3)
+        hit_lo = read(1, bank=0, row=7)
+        arbiter.on_accept(miss_hi, now=0)
+        arbiter.on_accept(hit_lo, now=0)
+        assert arbiter.pick([miss_hi, hit_lo], banks, now=60) is hit_lo
+
+    def test_row_hits_ignored_when_disabled(self):
+        arbiter, _ = make_arbiter({0: 3, 1: 1}, row_hits_first=False)
+        banks = [Bank(0, DramTiming(), PagePolicy.OPEN)]
+        banks[0].issue(now=0, row=7, data_end=8)
+        miss_hi = read(0, bank=0, row=3)
+        hit_lo = read(1, bank=0, row=7)
+        arbiter.on_accept(miss_hi, now=0)
+        arbiter.on_accept(hit_lo, now=0)
+        assert arbiter.pick([miss_hi, hit_lo], banks, now=60) is miss_hi
+
+
+class TestFairnessProperty:
+    def test_service_ratio_tracks_weights_under_backlog(self):
+        """Serving EDF from a saturated queue yields weight-ratio service."""
+        arbiter, registry = make_arbiter({0: 3, 1: 1})
+        banks = closed_banks()
+        backlog = {0: [], 1: []}
+        served = {0: 0, 1: 0}
+        for qos_id in (0, 1):
+            for _ in range(400):
+                req = read(qos_id)
+                arbiter.on_accept(req, now=0)
+                backlog[qos_id].append(req)
+        for _ in range(200):
+            candidates = [q[0] for q in backlog.values() if q]
+            choice = arbiter.pick(candidates, banks, now=0)
+            backlog[choice.qos_id].pop(0)
+            served[choice.qos_id] += 1
+        assert served[0] / served[1] == pytest.approx(3.0, rel=0.15)

@@ -1,0 +1,91 @@
+"""Unit/integration tests for the assembled PABST mechanism."""
+
+import pytest
+
+from repro.core.config import PabstConfig
+from repro.core.pabst import PabstMechanism
+from repro.qos.classes import QoSRegistry
+from repro.sim.config import SystemConfig
+from repro.sim.system import System
+from repro.workloads.stream import StreamWorkload
+
+
+def make_system(mechanism, cores=2, config=None):
+    config = config or SystemConfig.small_test()
+    registry = QoSRegistry()
+    registry.define_class(0, "hi", weight=3)
+    registry.define_class(1, "lo", weight=1)
+    registry.assign_core(0, 0)
+    registry.assign_core(1, 1)
+    workloads = {core: StreamWorkload() for core in range(cores)}
+    return System(config, registry, workloads, mechanism=mechanism)
+
+
+class TestAttachment:
+    def test_full_pabst_attaches_both_halves(self):
+        mechanism = PabstMechanism()
+        system = make_system(mechanism)
+        assert set(mechanism.pacers) == {0, 1}
+        assert set(mechanism.governors) == {0, 1}
+        assert set(mechanism.arbiters) == {0}
+        assert system.controllers[0].policy is mechanism.arbiters[0]
+        assert mechanism.name == "pabst"
+
+    def test_governor_only(self):
+        mechanism = PabstMechanism(enable_arbiter=False)
+        system = make_system(mechanism)
+        assert mechanism.pacers and not mechanism.arbiters
+        assert mechanism.name == "source-only"
+        assert system.controllers[0].policy is not None
+
+    def test_arbiter_only(self):
+        mechanism = PabstMechanism(enable_governor=False)
+        make_system(mechanism)
+        assert mechanism.arbiters and not mechanism.pacers
+        assert mechanism.name == "target-only"
+        assert mechanism.multiplier() == -1
+
+    def test_neither_half_degenerates_to_none(self):
+        mechanism = PabstMechanism(enable_governor=False, enable_arbiter=False)
+        make_system(mechanism)
+        assert mechanism.name == "none"
+
+
+class TestEpochPropagation:
+    def test_epoch_updates_every_governor_in_lockstep(self):
+        mechanism = PabstMechanism()
+        system = make_system(mechanism)
+        system.run_epochs(10)
+        assert mechanism.multipliers_agree()
+        assert mechanism.multiplier() >= 0
+
+    def test_multiplier_reported_in_epoch_samples(self):
+        mechanism = PabstMechanism()
+        system = make_system(mechanism)
+        system.run_epochs(5)
+        assert all(e.multiplier >= 0 for e in system.stats.epochs)
+
+    def test_custom_config_flows_through(self):
+        config = PabstConfig(inertia=2, burst_requests=4)
+        mechanism = PabstMechanism(config=config)
+        make_system(mechanism)
+        governor = next(iter(mechanism.governors.values()))
+        assert governor.monitor._config.inertia == 2
+
+
+class TestEndToEndShares:
+    def test_shares_track_weights_on_small_system(self):
+        mechanism = PabstMechanism()
+        config = SystemConfig.default_experiment(cores=4, num_mcs=1)
+        registry = QoSRegistry()
+        registry.define_class(0, "hi", weight=3, l3_ways=8)
+        registry.define_class(1, "lo", weight=1, l3_ways=8)
+        for core in range(4):
+            registry.assign_core(core, 0 if core < 2 else 1)
+        workloads = {core: StreamWorkload() for core in range(4)}
+        system = System(config, registry, workloads, mechanism=mechanism)
+        system.run_epochs(80)
+        system.finalize()
+        hi = sum(e.bytes_by_class.get(0, 0) for e in system.stats.epochs[30:])
+        lo = sum(e.bytes_by_class.get(1, 0) for e in system.stats.epochs[30:])
+        assert hi / (hi + lo) == pytest.approx(0.75, abs=0.06)

@@ -1,0 +1,88 @@
+"""Tests for the Section V-B heterogeneous thread-scaling extension."""
+
+import pytest
+
+from repro.core.config import PabstConfig
+from repro.core.pabst import PabstMechanism
+from repro.qos.classes import QoSRegistry
+from repro.sim.config import SystemConfig
+from repro.sim.system import System
+from repro.workloads.stream import StreamWorkload
+
+
+def run_scenario(thread_scaling: str, epochs=120):
+    """Class 0: one busy + one nearly idle thread.  Class 1: saturating.
+
+    Both classes have equal weights; the question is whether class 0's
+    busy thread can use the half of its class allocation that its idle
+    sibling leaves on the table.
+    """
+    from dataclasses import replace
+
+    # generous MSHRs so the busy thread is pacer-bound, not MLP-bound --
+    # otherwise intra-class scaling has nothing to redistribute
+    config = replace(
+        SystemConfig.default_experiment(cores=4, num_mcs=2), l2_mshrs=48
+    )
+    registry = QoSRegistry()
+    registry.define_class(0, "asym", weight=1, l3_ways=8)
+    registry.define_class(1, "busy", weight=1, l3_ways=8)
+    workloads = {
+        0: StreamWorkload(contexts=48),           # busy thread
+        1: StreamWorkload(gap=4000, contexts=1),  # nearly idle thread
+        2: StreamWorkload(),
+        3: StreamWorkload(),
+    }
+    for core, qos in ((0, 0), (1, 0), (2, 1), (3, 1)):
+        registry.assign_core(core, qos)
+    mechanism = PabstMechanism(PabstConfig(thread_scaling=thread_scaling))
+    system = System(config, registry, workloads, mechanism=mechanism)
+    system.run_epochs(epochs)
+    system.finalize()
+    share = 0
+    total = 0
+    for sample in system.stats.epochs[40:]:
+        for qos, count in sample.bytes_by_class.items():
+            total += count
+            if qos == 0:
+                share += count
+    return share / total if total else 0.0, mechanism
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PabstConfig(thread_scaling="static")
+        assert PabstConfig(thread_scaling="demand").thread_scaling == "demand"
+
+    def test_default_is_papers_equal_split(self):
+        assert PabstConfig().thread_scaling == "equal"
+
+
+class TestDemandScaling:
+    def test_equal_split_gives_both_threads_the_same_period(self):
+        _, mechanism = run_scenario("equal")
+        busy = mechanism.pacers[0].period_cycles
+        idle = mechanism.pacers[1].period_cycles
+        assert busy == pytest.approx(idle)
+
+    def test_demand_scaling_shifts_period_to_the_idle_thread(self):
+        _, mechanism = run_scenario("demand")
+        busy = mechanism.pacers[0].period_cycles
+        idle = mechanism.pacers[1].period_cycles
+        # the quiet thread's period stretches (up to the restart cap) while
+        # the busy thread absorbs nearly the whole class rate
+        assert idle > 8 * busy
+
+    def test_demand_scaling_never_hurts_the_class_share(self):
+        equal_share, _ = run_scenario("equal")
+        demand_share, _ = run_scenario("demand")
+        assert demand_share >= equal_share - 0.01
+        # and recovers at least part of the stranded half-share
+        assert demand_share > equal_share + 0.01
+
+    def test_demand_estimator_resets_each_epoch(self):
+        _, mechanism = run_scenario("demand", epochs=10)
+        # after the last epoch's rescale the counters restart from zero
+        for pacer in mechanism.pacers.values():
+            assert pacer.take_epoch_demand() >= 0

@@ -1,0 +1,67 @@
+"""Unit tests for baseline scheduling policies."""
+
+from repro.dram.bank import Bank
+from repro.dram.schedulers import FcfsPolicy, FrFcfsPolicy, oldest_first
+from repro.dram.timing import DramTiming, PagePolicy
+from repro.sim.records import AccessType, MemoryRequest
+
+
+def req(addr, arrived, bank=0, row=0):
+    r = MemoryRequest(addr=addr, access=AccessType.READ, qos_id=0, core_id=0)
+    r.arrived_mc_at = arrived
+    r.bank_id = bank
+    r.row_id = row
+    return r
+
+
+def open_banks(n=4):
+    timing = DramTiming()
+    return [Bank(i, timing, PagePolicy.OPEN) for i in range(n)]
+
+
+class TestOldestFirst:
+    def test_orders_by_arrival(self):
+        a, b = req(0x0, arrived=5), req(0x40, arrived=3)
+        assert oldest_first([a, b]) is b
+
+    def test_ties_break_by_request_id(self):
+        a, b = req(0x0, arrived=5), req(0x40, arrived=5)
+        assert oldest_first([b, a]) is min((a, b), key=lambda r: r.req_id)
+
+
+class TestFcfs:
+    def test_picks_oldest(self):
+        policy = FcfsPolicy()
+        a, b, c = req(0, 9), req(64, 2), req(128, 7)
+        assert policy.pick([a, b, c], open_banks(), now=10) is b
+
+
+class TestFrFcfs:
+    def test_row_hit_beats_older_miss(self):
+        banks = open_banks()
+        banks[0].issue(now=0, row=7, data_end=10)  # opens row 7
+        older_miss = req(0x0, arrived=1, bank=0, row=3)
+        newer_hit = req(0x40, arrived=5, bank=0, row=7)
+        policy = FrFcfsPolicy()
+        assert policy.pick([older_miss, newer_hit], banks, now=50) is newer_hit
+
+    def test_among_row_hits_oldest_wins(self):
+        banks = open_banks()
+        banks[0].issue(now=0, row=7, data_end=10)
+        hit_a = req(0x0, arrived=5, bank=0, row=7)
+        hit_b = req(0x40, arrived=3, bank=0, row=7)
+        policy = FrFcfsPolicy()
+        assert policy.pick([hit_a, hit_b], banks, now=50) is hit_b
+
+    def test_no_hits_degenerates_to_fcfs(self):
+        banks = open_banks()
+        a, b = req(0, 9, row=1), req(64, 2, row=2)
+        assert FrFcfsPolicy().pick([a, b], banks, now=0) is b
+
+    def test_closed_page_banks_never_produce_hits(self):
+        timing = DramTiming()
+        banks = [Bank(0, timing, PagePolicy.CLOSED)]
+        banks[0].issue(now=0, row=7, data_end=10)
+        a = req(0x0, arrived=9, bank=0, row=7)
+        b = req(0x40, arrived=2, bank=0, row=3)
+        assert FrFcfsPolicy().pick([a, b], banks, now=200) is b

@@ -1,0 +1,52 @@
+"""Unit tests for DDR timing parameters."""
+
+import pytest
+
+from repro.dram.timing import DramTiming, PagePolicy
+
+
+class TestTiming:
+    def test_defaults_positive(self):
+        timing = DramTiming.ddr4_2400()
+        assert timing.t_rcd > 0 and timing.t_burst > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramTiming(t_rcd=0)
+        with pytest.raises(ValueError):
+            DramTiming(t_burst=-1)
+
+    def test_access_prep(self):
+        timing = DramTiming(t_rcd=30, t_cl=30, t_rp=30, t_burst=8)
+        assert timing.access_prep(row_hit=False) == 60
+        assert timing.access_prep(row_hit=True) == 30
+
+    def test_bank_recovery_by_policy(self):
+        timing = DramTiming()
+        assert timing.bank_recovery(PagePolicy.CLOSED) == timing.t_rp
+        assert timing.bank_recovery(PagePolicy.OPEN) == 0
+
+    def test_closed_page_service(self):
+        timing = DramTiming(t_rcd=30, t_cl=30, t_rp=30, t_burst=8)
+        assert timing.closed_page_service == 98
+
+    def test_peak_bandwidth(self):
+        timing = DramTiming(t_burst=8)
+        assert timing.peak_bandwidth(64) == 8.0
+
+
+class TestFrequencyScaling:
+    def test_scaling_multiplies_all_timings(self):
+        base = DramTiming.ddr4_2400()
+        slow = base.frequency_scaled(4)
+        assert slow.t_rcd == 4 * base.t_rcd
+        assert slow.t_burst == 4 * base.t_burst
+        assert slow.peak_bandwidth(64) == base.peak_bandwidth(64) / 4
+
+    def test_identity_scaling(self):
+        base = DramTiming.ddr4_2400()
+        assert base.frequency_scaled(1) == base
+
+    def test_invalid_divisor(self):
+        with pytest.raises(ValueError):
+            DramTiming().frequency_scaled(0)

@@ -1,0 +1,153 @@
+"""Quick-mode integration tests for every figure experiment.
+
+These run each experiment at reduced scale and assert the figure's
+qualitative shape plus report rendering; the full-scale assertions live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig01_motivation,
+    fig05_proportional,
+    fig06_work_conserving,
+    fig07_source_and_target,
+    fig08_excess,
+    fig09_memcached,
+    fig10_isolation,
+    fig11_iaas,
+    fig12_efficiency,
+)
+
+
+class TestFig01:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig01_motivation.run(quick=True)
+
+    def test_source_regulates_streams(self, result):
+        assert result.column("a").error < 0.25
+
+    def test_target_fails_streams(self, result):
+        assert result.column("b").error > result.column("a").error
+
+    def test_source_fails_chaser(self, result):
+        assert result.column("c").error > 0.4
+
+    def test_report_lists_four_columns(self, result):
+        report = result.report()
+        assert all(tag in report for tag in ("a ", "b ", "c ", "d "))
+
+
+class TestFig05:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig05_proportional.run(quick=True)
+
+    def test_split_near_target(self, result):
+        assert result.hi_share == pytest.approx(0.7, abs=0.06)
+
+    def test_shares_sum_to_one(self, result):
+        assert result.hi_share + result.lo_share == pytest.approx(1.0)
+
+    def test_report_renders(self, result):
+        assert "proportional allocation" in result.report()
+
+
+class TestFig06:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig06_work_conserving.run(quick=True)
+
+    def test_idle_phase_reallocates(self, result):
+        assert result.constant_util_idle > result.constant_util_active + 0.2
+
+    def test_active_phase_enforces_share(self, result):
+        assert result.constant_util_active < 0.5
+
+
+class TestFig07:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig07_source_and_target.run(quick=True)
+
+    def test_pabst_accurate_on_streams(self, result):
+        assert result.outcome("stream", "pabst").error < 0.15
+
+    def test_pabst_best_on_chaser(self, result):
+        pabst = result.outcome("chaser", "pabst").hi_share
+        assert pabst >= result.outcome("chaser", "source-only").hi_share - 0.03
+        assert pabst >= result.outcome("chaser", "target-only").hi_share - 0.03
+
+    def test_unknown_outcome_raises(self, result):
+        with pytest.raises(KeyError):
+            result.outcome("stream", "magic")
+
+
+class TestFig08:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig08_excess.run(quick=True)
+
+    def test_excess_split_two_to_one(self, result):
+        assert result.ddr_hi_share_of_ddr == pytest.approx(2 / 3, abs=0.08)
+
+    def test_l3_class_uses_no_bandwidth(self, result):
+        assert result.l3_share < 0.08
+
+
+class TestFig09:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig09_memcached.run(quick=True)
+
+    def test_aggressor_hurts_baseline(self, result):
+        assert result.baseline.mean > result.isolated.mean
+
+    def test_pabst_recovers_most_of_the_mean(self, result):
+        assert result.pabst.mean < result.baseline.mean
+
+    def test_summaries_have_transactions(self, result):
+        assert result.isolated.transactions > 0
+        assert result.pabst.transactions > 0
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10_isolation.run(quick=True)
+
+    def test_pabst_reduces_slowdown(self, result):
+        assert result.mean_slowdown("pabst") < result.mean_slowdown("none")
+
+    def test_rows_cover_requested_workloads(self, result):
+        assert {row.workload for row in result.rows} == {"libquantum", "sphinx3"}
+
+    def test_report_has_mean_row(self, result):
+        assert "MEAN" in result.report()
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_iaas.run(quick=True)
+
+    def test_variable_workloads_gain(self, result):
+        by_name = {row.workload: row for row in result.rows}
+        assert by_name["mcf"].speedup > 1.2
+
+    def test_report_shows_improvement(self, result):
+        assert "%" in result.report()
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_efficiency.run(quick=True)
+
+    def test_qos_costs_efficiency(self, result):
+        assert result.mean_efficiency("pabst") < result.mean_efficiency("none")
+
+    def test_efficiencies_are_fractions(self, result):
+        for row in result.rows:
+            assert all(0.0 <= v <= 1.0 for v in row.efficiency.values())

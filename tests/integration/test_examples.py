@@ -1,0 +1,72 @@
+"""Smoke tests: every example script runs and prints its headline output.
+
+Examples are the public face of the library; these tests run them as real
+subprocesses (reduced epochs where the script takes a flag) so a packaging
+or API regression cannot ship silently.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(script: str, *args: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Without bandwidth QoS" in out
+        assert "With PABST" in out
+        assert "prod" in out and "batch" in out
+
+    def test_performance_isolation(self):
+        out = run_example(
+            "performance_isolation.py", "--epochs", "30", "--workload", "sphinx3"
+        )
+        assert "weighted slowdown" in out
+        assert "pabst" in out
+
+    def test_iaas_consolidation(self):
+        out = run_example(
+            "iaas_consolidation.py", "--epochs", "30", "--workload", "mcf"
+        )
+        assert "static 1/4 reservation" in out
+        assert "tenant vm3" in out
+
+    def test_memcached_colocation(self):
+        out = run_example("memcached_colocation.py", "--epochs", "40")
+        assert "isolated" in out
+        assert "co-located, PABST" in out
+
+    def test_adaptive_policy(self):
+        out = run_example("adaptive_policy.py", "--rounds", "6")
+        assert "converged" in out
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "performance_isolation.py",
+        "iaas_consolidation.py",
+        "memcached_colocation.py",
+        "adaptive_policy.py",
+    ],
+)
+def test_examples_have_usage_docs(script):
+    text = (EXAMPLES / script).read_text()
+    assert text.lstrip().startswith(('#!/usr/bin/env python3'))
+    assert '"""' in text

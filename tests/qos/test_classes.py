@@ -1,0 +1,109 @@
+"""Unit tests for QoS classes and the QoSID registry."""
+
+import pytest
+
+from repro.qos.classes import QoSClass, QoSRegistry
+
+
+class TestQoSClass:
+    def test_stride_computed_from_weight(self):
+        a = QoSClass(qos_id=0, name="a", weight=1)
+        b = QoSClass(qos_id=1, name="b", weight=2)
+        assert a.stride == pytest.approx(2 * b.stride, rel=0.01)
+
+    def test_explicit_stride_kept(self):
+        cls = QoSClass(qos_id=0, name="a", weight=1, stride=77)
+        assert cls.stride == 77
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QoSClass(qos_id=-1, name="bad", weight=1)
+        with pytest.raises(ValueError):
+            QoSClass(qos_id=0, name="bad", weight=0)
+        with pytest.raises(ValueError):
+            QoSClass(qos_id=0, name="bad", weight=1, stride=-3)
+
+
+class TestRegistryClasses:
+    def test_define_and_get(self):
+        registry = QoSRegistry()
+        defined = registry.define_class(3, "svc", weight=4)
+        assert registry.get(3) is defined
+        assert registry.weight(3) == 4
+        assert registry.stride(3) == defined.stride
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="not defined"):
+            QoSRegistry().get(9)
+
+    def test_classes_sorted_by_id(self):
+        registry = QoSRegistry()
+        registry.define_class(2, "b", weight=1)
+        registry.define_class(0, "a", weight=1)
+        assert [c.qos_id for c in registry.classes] == [0, 2]
+        assert registry.qos_ids == [0, 2]
+
+    def test_share_follows_weights(self):
+        registry = QoSRegistry()
+        registry.define_class(0, "hi", weight=3)
+        registry.define_class(1, "lo", weight=1)
+        assert registry.share(0) == pytest.approx(0.75)
+        assert registry.share(1) == pytest.approx(0.25)
+
+    def test_redefining_replaces(self):
+        registry = QoSRegistry()
+        registry.define_class(0, "v1", weight=1)
+        registry.define_class(0, "v2", weight=5)
+        assert registry.get(0).name == "v2"
+        assert registry.weight(0) == 5
+
+    def test_stride_scale_validation(self):
+        with pytest.raises(ValueError):
+            QoSRegistry(stride_scale=0)
+
+
+class TestCoreAssignment:
+    def test_threads_tracks_assignments(self):
+        registry = QoSRegistry()
+        registry.define_class(0, "a", weight=1)
+        registry.define_class(1, "b", weight=1)
+        for core in range(3):
+            registry.assign_core(core, 0)
+        registry.assign_core(3, 1)
+        assert registry.threads_in_class(0) == 3
+        assert registry.threads_in_class(1) == 1
+
+    def test_reassignment_moves_thread_count(self):
+        registry = QoSRegistry()
+        registry.define_class(0, "a", weight=1)
+        registry.define_class(1, "b", weight=1)
+        registry.assign_core(0, 0)
+        registry.assign_core(0, 1)
+        assert registry.threads_in_class(0) == 0
+        assert registry.threads_in_class(1) == 1
+        assert registry.class_of_core(0) == 1
+
+    def test_assign_to_unknown_class_raises(self):
+        registry = QoSRegistry()
+        with pytest.raises(KeyError):
+            registry.assign_core(0, 42)
+
+    def test_unassigned_core_raises(self):
+        registry = QoSRegistry()
+        with pytest.raises(KeyError, match="no QoSID"):
+            registry.class_of_core(0)
+
+    def test_cores_in_class(self):
+        registry = QoSRegistry()
+        registry.define_class(0, "a", weight=1)
+        registry.define_class(1, "b", weight=1)
+        registry.assign_core(2, 0)
+        registry.assign_core(0, 0)
+        registry.assign_core(1, 1)
+        assert registry.cores_in_class(0) == [0, 2]
+        assert registry.cores_in_class(1) == [1]
+
+    def test_threads_of_unpopulated_class_is_zero(self):
+        registry = QoSRegistry()
+        registry.define_class(0, "a", weight=1)
+        assert registry.threads_in_class(0) == 0

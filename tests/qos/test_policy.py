@@ -1,0 +1,89 @@
+"""Tests for the software bandwidth-target policy."""
+
+import pytest
+
+from repro.core.pabst import PabstMechanism
+from repro.qos.classes import QoSRegistry
+from repro.qos.monitor import BandwidthMonitor
+from repro.qos.policy import BandwidthTargetPolicy
+from repro.sim.config import SystemConfig
+from repro.sim.system import System
+from repro.workloads.stream import StreamWorkload
+
+
+def make_system():
+    config = SystemConfig.default_experiment(cores=8, num_mcs=2)
+    registry = QoSRegistry()
+    registry.define_class(0, "managed", weight=1, l3_ways=8)
+    registry.define_class(1, "background", weight=1, l3_ways=8)
+    workloads = {}
+    for core in range(8):
+        registry.assign_core(core, 0 if core < 4 else 1)
+        workloads[core] = StreamWorkload()
+    system = System(config, registry, workloads, mechanism=PabstMechanism())
+    return system, registry
+
+
+class TestValidation:
+    def test_parameter_checks(self):
+        system, registry = make_system()
+        monitor = system.bandwidth_monitor
+        with pytest.raises(ValueError):
+            BandwidthTargetPolicy(registry, monitor, 0, target_utilization=0.0)
+        with pytest.raises(ValueError):
+            BandwidthTargetPolicy(registry, monitor, 0, 0.5, gain=1.0)
+        with pytest.raises(ValueError):
+            BandwidthTargetPolicy(registry, monitor, 0, 0.5, deadband=-1)
+        with pytest.raises(KeyError):
+            BandwidthTargetPolicy(registry, monitor, 99, 0.5)
+
+
+class TestControlLoop:
+    def test_raises_weight_when_underserved(self):
+        """Equal weights give ~40-50%; a 60% target must raise the weight."""
+        system, registry = make_system()
+        policy = BandwidthTargetPolicy(
+            registry, system.bandwidth_monitor, qos_id=0, target_utilization=0.55
+        )
+        initial = policy.weight
+        for _ in range(20):
+            system.run_epochs(5)
+            policy.update()
+        assert policy.weight > initial
+        assert policy.adjustments > 0
+
+    def test_converges_to_target_bandwidth(self):
+        system, registry = make_system()
+        target = 0.5
+        policy = BandwidthTargetPolicy(
+            registry, system.bandwidth_monitor, qos_id=0,
+            target_utilization=target,
+        )
+        for _ in range(30):
+            system.run_epochs(5)
+            policy.update()
+        system.finalize()
+        achieved = system.bandwidth_monitor.utilization(0, window_epochs=20)
+        assert achieved == pytest.approx(target, abs=0.12)
+
+    def test_deadband_prevents_churn_at_target(self):
+        system, registry = make_system()
+        policy = BandwidthTargetPolicy(
+            registry, system.bandwidth_monitor, qos_id=0,
+            target_utilization=0.4, deadband=0.5,
+        )
+        for _ in range(10):
+            system.run_epochs(5)
+            policy.update()
+        assert policy.adjustments == 0  # huge deadband: never adjusts
+
+    def test_weight_clamped(self):
+        system, registry = make_system()
+        policy = BandwidthTargetPolicy(
+            registry, system.bandwidth_monitor, qos_id=0,
+            target_utilization=1.0, max_weight=4.0,
+        )
+        for _ in range(20):
+            system.run_epochs(5)
+            policy.update()
+        assert policy.weight <= 4.0

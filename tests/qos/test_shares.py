@@ -1,0 +1,96 @@
+"""Unit and property tests for proportional shares and strides."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.qos.shares import (
+    DEFAULT_STRIDE_SCALE,
+    proportional_share,
+    proportional_shares,
+    stride_for_weight,
+    strides_for_weights,
+)
+
+
+class TestProportionalShares:
+    def test_shares_sum_to_one(self):
+        shares = proportional_shares({0: 7, 1: 3})
+        assert shares[0] == pytest.approx(0.7)
+        assert shares[1] == pytest.approx(0.3)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_single_consumer_gets_everything(self):
+        assert proportional_shares({5: 42})[5] == 1.0
+
+    def test_proportional_share_scalar(self):
+        assert proportional_share(1, [1, 1, 2]) == pytest.approx(0.25)
+        assert proportional_share(2, {0: 1, 1: 1, 2: 2}) == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            proportional_shares({0: 0, 1: 1})
+        with pytest.raises(ValueError):
+            proportional_share(-1, [1, 2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            proportional_shares({})
+
+
+class TestStrides:
+    def test_stride_inverse_of_weight(self):
+        assert stride_for_weight(1, scale=64) == 64
+        assert stride_for_weight(2, scale=64) == 32
+        assert stride_for_weight(64, scale=64) == 1
+
+    def test_stride_floor_is_one(self):
+        assert stride_for_weight(1000, scale=64) == 1
+
+    def test_stride_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            stride_for_weight(0)
+        with pytest.raises(ValueError):
+            stride_for_weight(1, scale=0)
+
+    def test_paper_ratios_are_nearly_exact(self):
+        """The share ratios the paper uses survive stride rounding."""
+        for weights, ratio in [((3, 1), 3.0), ((7, 3), 7 / 3),
+                               ((32, 1), 32.0), ((20, 1), 20.0)]:
+            hi = stride_for_weight(weights[0])
+            lo = stride_for_weight(weights[1])
+            assert lo / hi == pytest.approx(ratio, rel=0.02)
+
+    def test_strides_for_weights(self):
+        strides = strides_for_weights({0: 2, 1: 1}, scale=128)
+        assert strides == {0: 64, 1: 128}
+
+
+@given(
+    weight_a=st.integers(min_value=1, max_value=64),
+    weight_b=st.integers(min_value=1, max_value=64),
+)
+def test_property_stride_ratio_tracks_inverse_weight_ratio(weight_a, weight_b):
+    stride_a = stride_for_weight(weight_a, DEFAULT_STRIDE_SCALE)
+    stride_b = stride_for_weight(weight_b, DEFAULT_STRIDE_SCALE)
+    # stride ratio approximates the inverse weight ratio within rounding
+    assert stride_b / stride_a == pytest.approx(weight_a / weight_b, rel=0.05)
+
+
+@given(
+    weights=st.dictionaries(
+        st.integers(min_value=0, max_value=10),
+        st.floats(min_value=0.1, max_value=100, allow_nan=False),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_property_shares_sum_to_one_and_order_matches(weights):
+    shares = proportional_shares(weights)
+    assert sum(shares.values()) == pytest.approx(1.0)
+    ranked_w = sorted(weights, key=weights.get)
+    ranked_s = sorted(shares, key=shares.get)
+    assert [weights[k] for k in ranked_w] == pytest.approx(
+        sorted(weights.values())
+    )
+    # shares preserve the weight ordering
+    assert ranked_s == sorted(ranked_s, key=lambda k: weights[k])

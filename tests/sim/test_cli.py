@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_info_command(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "PABST" in out
+        assert "libquantum" in out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_registry_covers_every_figure(self):
+        assert set(EXPERIMENTS) == {
+            "fig01", "fig05", "fig06", "fig07", "fig08",
+            "fig09", "fig10", "fig11", "fig12",
+        }
+
+
+class TestRun:
+    def test_run_quick_experiment(self, capsys):
+        assert main(["run", "fig05", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "proportional allocation" in out
+        assert "steady hi share" in out
+
+    def test_seed_accepted(self, capsys):
+        assert main(["run", "fig05", "--quick", "--seed", "3"]) == 0

@@ -1,0 +1,80 @@
+"""Unit tests for system configuration (Table III encodings)."""
+
+import pytest
+
+from repro.dram.timing import DramTiming, PagePolicy
+from repro.sim.config import SystemConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        SystemConfig()
+
+    def test_cores_must_fit_mesh(self):
+        with pytest.raises(ValueError):
+            SystemConfig(cores=9, mesh_cols=2, mesh_rows=2)
+
+    def test_line_bytes_power_of_two(self):
+        with pytest.raises(ValueError):
+            SystemConfig(line_bytes=48)
+
+    def test_page_policy_checked(self):
+        with pytest.raises(ValueError):
+            SystemConfig(page_policy="half-open")
+        SystemConfig(page_policy=PagePolicy.OPEN)
+
+    def test_watermark_ordering(self):
+        with pytest.raises(ValueError):
+            SystemConfig(write_low_watermark=24, write_high_watermark=24)
+        with pytest.raises(ValueError):
+            SystemConfig(write_high_watermark=99, frontend_write_queue=32)
+
+    def test_epoch_positive(self):
+        with pytest.raises(ValueError):
+            SystemConfig(epoch_cycles=0)
+
+
+class TestDerivedValues:
+    def test_peak_bandwidth(self):
+        config = SystemConfig(num_mcs=4)
+        per_channel = config.line_bytes / config.dram.t_burst
+        assert config.peak_bandwidth == 4 * per_channel
+
+    def test_cache_geometry(self):
+        config = SystemConfig(l2_size_kb=256, l2_assoc=8, line_bytes=64)
+        assert config.l2_sets * config.l2_assoc * 64 == 256 * 1024
+        assert config.l3_slice_sets * config.l3_assoc * 64 == config.l3_slice_kb * 1024
+
+    def test_lines_per_row(self):
+        config = SystemConfig(row_bytes=2048, line_bytes=64)
+        assert config.lines_per_row == 32
+
+
+class TestPresets:
+    def test_paper_32core_matches_table_iii_shape(self):
+        config = SystemConfig.paper_32core()
+        assert config.cores == 32
+        assert (config.mesh_cols, config.mesh_rows) == (8, 4)
+        assert config.num_mcs == 4
+        assert config.epoch_cycles == 20_000  # 10 us at 2 GHz
+
+    def test_default_experiment_scales(self):
+        config = SystemConfig.default_experiment(cores=16, num_mcs=2)
+        assert config.cores == 16
+        assert config.mesh_cols * config.mesh_rows >= 16
+
+    def test_small_test_is_small(self):
+        config = SystemConfig.small_test()
+        assert config.cores == 2
+        assert config.num_mcs == 1
+
+    def test_with_dram_swaps_timing(self):
+        config = SystemConfig()
+        slow = config.with_dram(DramTiming.ddr4_2400().frequency_scaled(4))
+        assert slow.peak_bandwidth == config.peak_bandwidth / 4
+        assert slow.cores == config.cores
+
+    def test_scaled_cores(self):
+        config = SystemConfig.default_experiment(cores=8).scaled_cores(6)
+        assert config.cores == 6
+        assert config.mesh_cols * config.mesh_rows >= 6

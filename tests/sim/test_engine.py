@@ -1,0 +1,170 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_runs_callbacks_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(30, order.append, "c")
+        engine.schedule(10, order.append, "a")
+        engine.schedule(20, order.append, "b")
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        engine = Engine()
+        order = []
+        for tag in range(5):
+            engine.schedule(7, order.append, tag)
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(42, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [42]
+
+    def test_schedule_zero_delay_runs_at_current_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(5, lambda: engine.schedule(0, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [5]
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        engine.run()
+        assert engine.now == 10
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5, lambda: None)
+
+    def test_callbacks_receive_args(self):
+        engine = Engine()
+        result = []
+        engine.schedule(1, lambda a, b: result.append(a + b), 2, 3)
+        engine.run()
+        assert result == [5]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule(10, fired.append, "x")
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        event = engine.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        engine.run()
+
+    def test_cancel_one_of_many(self):
+        engine = Engine()
+        fired = []
+        keep = engine.schedule(10, fired.append, "keep")
+        drop = engine.schedule(10, fired.append, "drop")
+        drop.cancel()
+        engine.run()
+        assert fired == ["keep"]
+        assert not keep.cancelled
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_deadline(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10, fired.append, "early")
+        engine.schedule(100, fired.append, "late")
+        engine.run_until(50)
+        assert fired == ["early"]
+        assert engine.now == 50
+        engine.run_until(150)
+        assert fired == ["early", "late"]
+
+    def test_run_until_advances_clock_even_when_idle(self):
+        engine = Engine()
+        engine.run_until(123)
+        assert engine.now == 123
+
+    def test_event_exactly_at_deadline_fires(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(50, fired.append, True)
+        engine.run_until(50)
+        assert fired == [True]
+
+
+class TestRun:
+    def test_returns_dispatch_count(self):
+        engine = Engine()
+        for _ in range(7):
+            engine.schedule(1, lambda: None)
+        assert engine.run() == 7
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def reschedule():
+            engine.schedule(1, reschedule)
+
+        engine.schedule(0, reschedule)
+        with pytest.raises(SimulationError, match="max_events"):
+            engine.run(max_events=100)
+
+
+class TestRng:
+    def test_same_name_same_stream(self):
+        a = Engine(seed=7).rng("x").integers(0, 1 << 30, 10)
+        b = Engine(seed=7).rng("x").integers(0, 1 << 30, 10)
+        assert list(a) == list(b)
+
+    def test_different_names_different_streams(self):
+        engine = Engine(seed=7)
+        a = engine.rng("x").integers(0, 1 << 30, 10)
+        b = engine.rng("y").integers(0, 1 << 30, 10)
+        assert list(a) != list(b)
+
+    def test_different_seeds_different_streams(self):
+        a = Engine(seed=1).rng("x").integers(0, 1 << 30, 10)
+        b = Engine(seed=2).rng("x").integers(0, 1 << 30, 10)
+        assert list(a) != list(b)
+
+    def test_rng_cached_per_name(self):
+        engine = Engine()
+        assert engine.rng("x") is engine.rng("x")
+
+    def test_stream_independent_of_creation_order(self):
+        e1 = Engine(seed=3)
+        e1.rng("a")
+        v1 = e1.rng("b").integers(0, 1 << 30, 5)
+        e2 = Engine(seed=3)
+        v2 = e2.rng("b").integers(0, 1 << 30, 5)
+        assert list(v1) == list(v2)
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=60))
+def test_property_events_dispatch_in_nondecreasing_time(delays):
+    engine = Engine()
+    seen = []
+    for delay in delays:
+        engine.schedule(delay, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)

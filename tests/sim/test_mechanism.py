@@ -1,0 +1,29 @@
+"""Unit tests for the QoSMechanism base (the do-nothing mechanism)."""
+
+from repro.sim.mechanism import QoSMechanism
+from repro.sim.records import AccessType, MemoryRequest
+
+
+class TestDefaults:
+    def test_release_passthrough(self):
+        mechanism = QoSMechanism()
+        fired = []
+        req = MemoryRequest(addr=0, access=AccessType.READ, qos_id=0, core_id=0)
+        mechanism.request_release(0, req, lambda: fired.append(True))
+        assert fired == [True]
+
+    def test_no_policy(self):
+        assert QoSMechanism().mc_policy(0) is None
+
+    def test_hooks_are_noops(self):
+        mechanism = QoSMechanism()
+        req = MemoryRequest(addr=0, access=AccessType.READ, qos_id=0, core_id=0)
+        mechanism.on_response(0, req)
+        mechanism.on_epoch(saturated=True)
+        mechanism.attach(None)  # type: ignore[arg-type]
+
+    def test_multiplier_sentinel(self):
+        assert QoSMechanism().multiplier() == -1
+
+    def test_name(self):
+        assert QoSMechanism().name == "none"

@@ -1,0 +1,76 @@
+"""Unit tests for memory-request records."""
+
+import pytest
+
+from repro.sim.records import AccessType, MemoryRequest, next_request_id
+
+
+def make_req(**kwargs):
+    defaults = dict(addr=0x1000, access=AccessType.READ, qos_id=0, core_id=0)
+    defaults.update(kwargs)
+    return MemoryRequest(**defaults)
+
+
+class TestAccessType:
+    def test_read_is_read(self):
+        assert AccessType.READ.is_read
+        assert not AccessType.WRITE.is_read
+        assert not AccessType.WRITEBACK.is_read
+
+    def test_memory_write_classification(self):
+        assert not make_req().is_memory_write
+        assert make_req(access=AccessType.WRITE).is_memory_write
+        assert make_req(access=AccessType.WRITEBACK).is_memory_write
+
+
+class TestRequestIds:
+    def test_ids_are_unique_and_increasing(self):
+        first = next_request_id()
+        second = next_request_id()
+        assert second == first + 1
+
+    def test_each_request_gets_fresh_id(self):
+        a, b = make_req(), make_req()
+        assert a.req_id != b.req_id
+
+
+class TestLatencyProperties:
+    def test_total_latency(self):
+        req = make_req()
+        req.created_at = 100
+        req.completed_at = 450
+        assert req.total_latency == 350
+
+    def test_total_latency_requires_completion(self):
+        req = make_req()
+        req.created_at = 100
+        with pytest.raises(ValueError):
+            _ = req.total_latency
+
+    def test_pacer_delay(self):
+        req = make_req()
+        req.created_at = 10
+        req.released_at = 35
+        assert req.pacer_delay == 25
+
+    def test_pacer_delay_requires_release(self):
+        with pytest.raises(ValueError):
+            _ = make_req().pacer_delay
+
+    def test_queue_delay(self):
+        req = make_req()
+        req.arrived_mc_at = 200
+        req.issued_at = 260
+        assert req.queue_delay == 60
+
+    def test_queue_delay_requires_issue(self):
+        with pytest.raises(ValueError):
+            _ = make_req().queue_delay
+
+    def test_fresh_request_has_no_timestamps(self):
+        req = make_req()
+        for field in (
+            "created_at", "released_at", "arrived_mc_at",
+            "dispatched_at", "issued_at", "completed_at",
+        ):
+            assert getattr(req, field) == -1

@@ -1,0 +1,61 @@
+"""Unit tests for the workload base interface."""
+
+import pytest
+
+from repro.workloads.base import Access, CORE_ADDRESS_STRIDE, Workload
+from tests.workloads.test_stream import FakeCore
+
+
+class TestAccess:
+    def test_defaults(self):
+        access = Access(addr=0x40)
+        assert not access.is_write
+        assert access.gap == 0
+        assert access.instructions == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Access(addr=-1)
+        with pytest.raises(ValueError):
+            Access(addr=0, gap=-1)
+        with pytest.raises(ValueError):
+            Access(addr=0, instructions=-1)
+
+
+class MinimalWorkload(Workload):
+    name = "minimal"
+
+    def next_access(self, context):
+        return Access(addr=self.base_addr)
+
+
+class TestBinding:
+    def test_bind_sets_rng_and_base(self):
+        workload = MinimalWorkload()
+        workload.bind(FakeCore(core_id=2))
+        assert workload.base_addr == 2 * CORE_ADDRESS_STRIDE
+        assert workload.rng is not None
+        assert workload.now == 0
+
+    def test_unbound_accessors_raise(self):
+        workload = MinimalWorkload()
+        with pytest.raises(RuntimeError):
+            _ = workload.rng
+        with pytest.raises(RuntimeError):
+            _ = workload.now
+
+    def test_on_bind_hook_called(self):
+        calls = []
+
+        class Hooked(MinimalWorkload):
+            def on_bind(self):
+                calls.append(self.base_addr)
+
+        workload = Hooked()
+        workload.bind(FakeCore(core_id=1))
+        assert calls == [CORE_ADDRESS_STRIDE]
+
+    def test_default_on_complete_is_noop(self):
+        workload = MinimalWorkload()
+        workload.bind(FakeCore())
+        workload.on_complete(0, Access(addr=0), now=10)

@@ -1,0 +1,46 @@
+"""Unit tests for the pointer-chasing workload."""
+
+import pytest
+
+from repro.workloads.chaser import ChaserWorkload
+from tests.workloads.test_stream import FakeCore
+
+
+def bound(workload, core_id=0, seed=0):
+    workload.bind(FakeCore(core_id, seed))
+    return workload
+
+
+class TestChaser:
+    def test_contexts_equal_chains(self):
+        assert ChaserWorkload(chains=4).contexts == 4
+
+    def test_addresses_line_aligned_and_in_working_set(self):
+        chaser = bound(ChaserWorkload(working_set_bytes=1 << 20))
+        base = chaser.base_addr
+        for _ in range(1000):
+            access = chaser.next_access(0)
+            assert access.addr % 64 == 0
+            assert base <= access.addr < base + (1 << 20)
+
+    def test_addresses_unpredictable(self):
+        chaser = bound(ChaserWorkload())
+        addrs = {chaser.next_access(0).addr for _ in range(100)}
+        assert len(addrs) > 90  # random chase, almost no repeats
+
+    def test_reads_only(self):
+        chaser = bound(ChaserWorkload())
+        assert not any(chaser.next_access(0).is_write for _ in range(64))
+
+    def test_reproducible_for_same_seed(self):
+        a = bound(ChaserWorkload(), seed=5)
+        b = bound(ChaserWorkload(), seed=5)
+        assert [a.next_access(0).addr for _ in range(20)] == [
+            b.next_access(0).addr for _ in range(20)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaserWorkload(working_set_bytes=1024)
+        with pytest.raises(ValueError):
+            ChaserWorkload(chains=0)

@@ -1,0 +1,48 @@
+"""Unit tests for the phase-alternating streamer (Fig. 6 workload)."""
+
+import pytest
+
+from repro.workloads.periodic import PeriodicStreamWorkload
+from tests.workloads.test_stream import FakeCore
+
+
+def bound(workload, core=None):
+    core = core or FakeCore()
+    workload.bind(core)
+    return workload, core
+
+
+class TestPhases:
+    def test_phase_schedule(self):
+        workload = PeriodicStreamWorkload(active_cycles=100, idle_cycles=50)
+        assert workload.in_active_phase(0)
+        assert workload.in_active_phase(99)
+        assert not workload.in_active_phase(100)
+        assert not workload.in_active_phase(149)
+        assert workload.in_active_phase(150)  # next period
+
+    def test_active_phase_streams_outside_hot_set(self):
+        workload, core = bound(
+            PeriodicStreamWorkload(
+                active_cycles=1000, idle_cycles=1000, hot_set_bytes=4096
+            )
+        )
+        access = workload.next_access(0)
+        assert access.addr >= workload.base_addr + 4096
+
+    def test_idle_phase_stays_in_hot_set(self):
+        workload, core = bound(
+            PeriodicStreamWorkload(
+                active_cycles=1000, idle_cycles=1000, hot_set_bytes=4096
+            )
+        )
+        core.advance(1500)  # inside the idle phase
+        for _ in range(200):
+            access = workload.next_access(0)
+            assert access.addr < workload.base_addr + 4096
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicStreamWorkload(active_cycles=0)
+        with pytest.raises(ValueError):
+            PeriodicStreamWorkload(hot_set_bytes=1 << 30, working_set_bytes=1 << 20)

@@ -1,0 +1,111 @@
+"""Unit tests for the SPEC CPU2006 synthetic proxies."""
+
+import pytest
+
+from repro.workloads.spec import SPEC_PROFILES, SpecProfile, spec_workload
+from tests.workloads.test_stream import FakeCore
+
+
+def bound(name, seed=0):
+    workload = spec_workload(name)
+    workload.bind(FakeCore(seed=seed))
+    return workload
+
+
+class TestRegistry:
+    def test_contains_the_papers_eight(self):
+        expected = {
+            "GemsFDTD", "lbm", "libquantum", "mcf",
+            "milc", "omnetpp", "soplex", "sphinx3",
+        }
+        assert set(SPEC_PROFILES) == expected
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(KeyError, match="unknown SPEC workload"):
+            spec_workload("povray")
+
+    def test_profiles_validate(self):
+        with pytest.raises(ValueError):
+            SpecProfile("x", contexts=0, mean_gap=1, write_fraction=0,
+                        random_fraction=0, working_set_bytes=1 << 20,
+                        instructions_per_access=1)
+        with pytest.raises(ValueError):
+            SpecProfile("x", contexts=1, mean_gap=1, write_fraction=2,
+                        random_fraction=0, working_set_bytes=1 << 20,
+                        instructions_per_access=1)
+
+
+class TestQualitativeCharacter:
+    def test_streaming_proxies_have_more_mlp_than_latency_bound(self):
+        assert SPEC_PROFILES["libquantum"].contexts > SPEC_PROFILES["sphinx3"].contexts
+        assert SPEC_PROFILES["lbm"].contexts > SPEC_PROFILES["omnetpp"].contexts
+
+    def test_mcf_is_irregular(self):
+        assert SPEC_PROFILES["mcf"].random_fraction > 0.5
+
+    def test_libquantum_is_sequential(self):
+        assert SPEC_PROFILES["libquantum"].random_fraction == 0.0
+
+    def test_lbm_writes_heavily(self):
+        assert SPEC_PROFILES["lbm"].write_fraction > 0.3
+
+
+class TestGeneration:
+    def test_addresses_within_working_set(self):
+        workload = bound("mcf")
+        limit = workload.base_addr + workload.profile.working_set_bytes
+        for _ in range(500):
+            access = workload.next_access(0)
+            assert workload.base_addr <= access.addr < limit
+            assert access.addr % 64 == 0
+
+    def test_gap_mean_tracks_profile(self):
+        from dataclasses import replace
+
+        from repro.workloads.spec import SPEC_PROFILES, SpecProxyWorkload
+
+        # disable phasing so every gap draws from the memory-phase mean
+        profile = replace(SPEC_PROFILES["sphinx3"], phase_cycles=0)
+        workload = SpecProxyWorkload(profile)
+        workload.bind(FakeCore())
+        gaps = [workload.next_access(0).gap for _ in range(4000)]
+        mean = sum(gaps) / len(gaps)
+        assert mean == pytest.approx(profile.mean_gap, rel=0.25)
+
+    def test_low_phase_stretches_gaps(self):
+        workload = bound("sphinx3")
+        memory_phase = workload.in_memory_phase(workload._phase_offset and 0 or 0)
+        # force both phases via explicit positions
+        profile = workload.profile
+        active_pos = 0
+        idle_pos = int(profile.duty * profile.phase_cycles) + 1
+        workload._phase_offset = 0
+        assert workload.in_memory_phase(active_pos)
+        assert not workload.in_memory_phase(idle_pos)
+
+    def test_zero_gap_profile_generates_zero_gaps(self):
+        profile = SpecProfile("z", contexts=1, mean_gap=0, write_fraction=0,
+                              random_fraction=0, working_set_bytes=1 << 20,
+                              instructions_per_access=1)
+        from repro.workloads.spec import SpecProxyWorkload
+        workload = SpecProxyWorkload(profile)
+        workload.bind(FakeCore())
+        assert all(workload.next_access(0).gap == 0 for _ in range(20))
+
+    def test_write_fraction_approximated(self):
+        workload = bound("lbm")
+        writes = sum(workload.next_access(0).is_write for _ in range(4000))
+        assert writes / 4000 == pytest.approx(
+            workload.profile.write_fraction, abs=0.05
+        )
+
+    def test_sequential_portion_advances(self):
+        workload = bound("libquantum")
+        addrs = [workload.next_access(0).addr for _ in range(10)]
+        assert addrs == sorted(addrs)
+
+    def test_deterministic_per_seed(self):
+        a, b = bound("milc", seed=3), bound("milc", seed=3)
+        assert [a.next_access(0).addr for _ in range(50)] == [
+            b.next_access(0).addr for _ in range(50)
+        ]

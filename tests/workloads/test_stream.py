@@ -1,0 +1,94 @@
+"""Unit tests for streaming workloads."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.workloads.base import CORE_ADDRESS_STRIDE
+from repro.workloads.stream import StreamWorkload, l3_resident_stream
+
+
+class FakeCore:
+    """Minimal core stand-in for binding workloads in unit tests."""
+
+    def __init__(self, core_id=0, seed=0):
+        self.core_id = core_id
+        self._engine = Engine(seed)
+        self.rng = self._engine.rng(f"core.{core_id}")
+
+    @property
+    def now(self):
+        return self._engine.now
+
+    def advance(self, cycles):
+        self._engine.run_until(self._engine.now + cycles)
+
+
+def bound(workload, core_id=0):
+    workload.bind(FakeCore(core_id))
+    return workload
+
+
+class TestStream:
+    def test_addresses_advance_by_stride(self):
+        stream = bound(StreamWorkload(stride_bytes=128))
+        addrs = [stream.next_access(0).addr for _ in range(4)]
+        assert [a - addrs[0] for a in addrs] == [0, 128, 256, 384]
+
+    def test_wraps_at_working_set(self):
+        stream = bound(StreamWorkload(working_set_bytes=256, stride_bytes=128))
+        addrs = [stream.next_access(0).addr for _ in range(4)]
+        assert addrs[2] == addrs[0] and addrs[3] == addrs[1]
+
+    def test_base_address_per_core(self):
+        a = bound(StreamWorkload(), core_id=0)
+        b = bound(StreamWorkload(), core_id=3)
+        assert b.next_access(0).addr - a.next_access(0).addr == 3 * CORE_ADDRESS_STRIDE
+
+    def test_read_only_by_default(self):
+        stream = bound(StreamWorkload())
+        assert not any(stream.next_access(0).is_write for _ in range(32))
+
+    def test_write_fraction_one_is_all_writes(self):
+        stream = bound(StreamWorkload(write_fraction=1.0))
+        assert all(stream.next_access(0).is_write for _ in range(32))
+
+    def test_write_fraction_statistics(self):
+        stream = bound(StreamWorkload(write_fraction=0.5))
+        writes = sum(stream.next_access(0).is_write for _ in range(2000))
+        assert 800 < writes < 1200
+
+    def test_gap_and_instructions_propagate(self):
+        stream = bound(StreamWorkload(gap=7, instructions_per_access=3))
+        access = stream.next_access(0)
+        assert access.gap == 7 and access.instructions == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamWorkload(working_set_bytes=0)
+        with pytest.raises(ValueError):
+            StreamWorkload(stride_bytes=0)
+        with pytest.raises(ValueError):
+            StreamWorkload(write_fraction=1.5)
+        with pytest.raises(ValueError):
+            StreamWorkload(contexts=0)
+
+    def test_unbound_workload_raises(self):
+        with pytest.raises(RuntimeError):
+            StreamWorkload(write_fraction=0.5).next_access(0)
+
+
+class TestL3ResidentStream:
+    def test_working_set_under_partition(self):
+        stream = l3_resident_stream(partition_bytes=1 << 20)
+        assert stream._working_set <= (1 << 20) // 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            l3_resident_stream(0)
+
+    def test_addresses_stay_within_working_set(self):
+        stream = bound(l3_resident_stream(partition_bytes=64 << 10))
+        base = stream.base_addr
+        for _ in range(5000):
+            addr = stream.next_access(0).addr
+            assert base <= addr < base + (64 << 10)
