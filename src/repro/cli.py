@@ -3,9 +3,14 @@
 Usage::
 
     python -m repro list
-    python -m repro run fig05 [--quick] [--seed N]
+    python -m repro run fig05 [--quick] [--seed N] [--sanitize]
     python -m repro run-all [--quick]
     python -m repro info
+    python -m repro lint [paths ...]
+
+``--sanitize`` attaches the runtime invariant checker
+(:mod:`repro.sim.sanitizer`) to every system the experiment builds;
+``lint`` runs the determinism linter (:mod:`repro.devtools.lint`).
 
 Each experiment prints the same report table/series its benchmark asserts
 against; see EXPERIMENTS.md for the paper-vs-measured record.
@@ -61,12 +66,16 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_experiment(name: str, quick: bool, seed: int) -> None:
+def _run_experiment(name: str, quick: bool, seed: int, sanitize: bool = False) -> None:
+    from repro.experiments.common import sanitized
+
     runner, description = EXPERIMENTS[name]
     mode = "quick" if quick else "full"
-    print(f"== {name} ({mode}): {description}")
+    suffix = ", sanitized" if sanitize else ""
+    print(f"== {name} ({mode}{suffix}): {description}")
     started = time.perf_counter()
-    result = runner(quick=quick, seed=seed)
+    with sanitized(sanitize):
+        result = runner(quick=quick, seed=seed)
     elapsed = time.perf_counter() - started
     print(result.report())
     print(f"[{elapsed:.1f}s]")
@@ -78,7 +87,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.experiment!r}; known: {known}",
               file=sys.stderr)
         return 2
-    _run_experiment(args.experiment, args.quick, args.seed)
+    _run_experiment(args.experiment, args.quick, args.seed, args.sanitize)
     return 0
 
 
@@ -86,8 +95,14 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     for index, name in enumerate(EXPERIMENTS):
         if index:
             print()
-        _run_experiment(name, args.quick, args.seed)
+        _run_experiment(name, args.quick, args.seed, args.sanitize)
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools import lint
+
+    return lint.main(args.paths or None)
 
 
 def _cmd_info(_args: argparse.Namespace) -> int:
@@ -126,12 +141,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--quick", action="store_true",
                      help="reduced scale (seconds instead of minutes)")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--sanitize", action="store_true",
+                     help="enable the runtime invariant sanitizer")
     run.set_defaults(func=_cmd_run)
 
     run_all = sub.add_parser("run-all", help="run every experiment")
     run_all.add_argument("--quick", action="store_true")
     run_all.add_argument("--seed", type=int, default=0)
+    run_all.add_argument("--sanitize", action="store_true",
+                         help="enable the runtime invariant sanitizer")
     run_all.set_defaults(func=_cmd_run_all)
+
+    lint = sub.add_parser("lint", help="run the determinism linter")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories (default: src tests)")
+    lint.set_defaults(func=_cmd_lint)
 
     sub.add_parser("info", help="show machine presets and workloads").set_defaults(
         func=_cmd_info

@@ -16,15 +16,12 @@ an access and gets a completion callback.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from typing import Callable
 
 import numpy as np
 
 from repro.sim.engine import Engine
 from repro.workloads.base import Access, Workload
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
-    from repro.sim.system import System
 
 __all__ = ["Core"]
 

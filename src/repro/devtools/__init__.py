@@ -1,0 +1,24 @@
+"""Developer tooling for the PABST reproduction.
+
+``repro.devtools`` hosts static-analysis machinery that keeps the
+simulator honest.  The determinism linter (:mod:`repro.devtools.lint`)
+mechanically enforces the rules in README.md's "Determinism rules"
+section: no ambient randomness, no wall-clock reads inside timed layers,
+no float cycle arithmetic, no order leaks from unordered containers.
+
+Run it as ``python -m repro.devtools.lint src tests`` or via the
+``repro lint`` CLI subcommand.
+"""
+
+__all__ = ["Diagnostic", "lint_file", "lint_paths", "lint_source"]
+
+
+def __getattr__(name):
+    # Lazy re-export so ``python -m repro.devtools.lint`` does not import
+    # the submodule twice (runpy would warn about the stale sys.modules
+    # entry otherwise).
+    if name in __all__:
+        from repro.devtools import lint
+
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,535 @@
+"""AST-based determinism linter for the simulator tree.
+
+The engine's core promise is bit-deterministic replay: two runs with the
+same seed must produce identical epoch bandwidth series.  Whole classes of
+bugs silently break that promise — builtin ``hash()`` feeding seeds,
+ambient ``random`` state, wall-clock reads inside the timed layers, float
+cycle arithmetic, and iteration order leaking out of ``set``s.  This
+module catches them mechanically.
+
+Rules (each can be suppressed per line with ``# repro: noqa[CODE]`` or,
+for every rule at once, ``# repro: noqa``):
+
+========  ==============================================================
+DET001    no builtin ``hash()``/``id()`` — their values vary per process
+          (``PYTHONHASHSEED``, allocator layout) and must never feed
+          simulation state.
+DET002    no ambient randomness inside ``src/repro``: the stdlib
+          ``random`` module, ``np.random.seed``, legacy
+          ``np.random.RandomState``/global-state helpers, and unseeded
+          ``np.random.default_rng()`` are all banned.  Randomness flows
+          through ``Engine.rng(name)`` or an injected ``Generator``.
+DET003    no wall-clock reads (``time.time``, ``perf_counter``,
+          ``datetime.now``, ...) inside the timed layers (``sim/``,
+          ``core/``, ``dram/``, ``cache/``, ``cpu/``, ``qos/``).
+DET004    no true division on timestamp-like operands (``when``,
+          ``now``, ``deadline``, ``*_at``, ``*_until``); cycle
+          arithmetic must use ``//`` so it stays integral.
+DET005    no iteration over bare ``set`` literals/comprehensions —
+          element order can leak into scheduling decisions.
+SIM001    ``Engine.schedule``/``schedule_at`` callsites must pass an
+          int-typed delay expression (no float literals, ``float()``
+          casts, or ``/`` in the delay argument).
+========  ==============================================================
+
+Usage::
+
+    python -m repro.devtools.lint [--list-rules] [paths ...]
+    repro lint [paths ...]
+
+Exit status is non-zero when any diagnostic survives suppression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import ClassVar, Iterable, Iterator
+
+__all__ = [
+    "Diagnostic",
+    "RULES",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
+
+#: Subpackages of ``repro`` whose code runs inside simulated time.
+TIMED_LAYERS = ("sim", "core", "dram", "cache", "cpu", "qos")
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violated at a file/line/column."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Where a source buffer sits relative to the ``repro`` package."""
+
+    path: str
+    lines: tuple[str, ...]
+
+    @property
+    def repro_parts(self) -> tuple[str, ...] | None:
+        """Path components below the ``repro`` package dir, or None."""
+        parts = PurePosixPath(self.path.replace("\\", "/")).parts
+        for index, part in enumerate(parts[:-1]):
+            if part == "repro":
+                return parts[index + 1 :]
+        return None
+
+    @property
+    def in_repro_package(self) -> bool:
+        return self.repro_parts is not None
+
+    @property
+    def in_timed_layer(self) -> bool:
+        parts = self.repro_parts
+        return parts is not None and len(parts) > 1 and parts[0] in TIMED_LAYERS
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for lint rules: an AST visitor with a code and scope.
+
+    Subclasses set ``code``/``summary``, optionally narrow ``applies``,
+    and call :meth:`report` from their ``visit_*`` methods.  Register
+    with :func:`register` so the CLI and test harness discover them.
+    """
+
+    code: ClassVar[str]
+    summary: ClassVar[str]
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.diagnostics: list[Diagnostic] = []
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        """Whether this rule runs on the file at all (path scoping)."""
+        return True
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                code=self.code,
+                message=message,
+            )
+        )
+
+
+RULES: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Add a rule class to the registry (decorator)."""
+    if rule_cls.code in RULES:
+        raise ValueError(f"duplicate rule code {rule_cls.code!r}")
+    RULES[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+# ----------------------------------------------------------------------
+# expression helpers shared by several rules
+# ----------------------------------------------------------------------
+def _terminal_name(node: ast.expr) -> str | None:
+    """The rightmost identifier of a Name or attribute chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _base_chain(node: ast.expr) -> list[str]:
+    """Identifier chain of nested attributes, e.g. ``np.random.seed``."""
+    chain: list[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        chain.append(node.id)
+    chain.reverse()
+    return chain
+
+
+_TIMESTAMP_EXACT = {"when", "now", "deadline", "_now"}
+_TIMESTAMP_SUFFIXES = ("_at", "_deadline", "_until")
+
+
+def _is_timestamp_name(name: str | None) -> bool:
+    if name is None:
+        return False
+    if name in _TIMESTAMP_EXACT:
+        return True
+    return name.endswith(_TIMESTAMP_SUFFIXES)
+
+
+def _definitely_float(node: ast.expr) -> bool:
+    """True when the expression statically cannot be an int."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+            return True
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+            return True
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == "float"
+        ):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# rules
+# ----------------------------------------------------------------------
+@register
+class NoBuiltinHash(Rule):
+    code = "DET001"
+    summary = "builtin hash()/id() values vary per process"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id in ("hash", "id"):
+            self.report(
+                node,
+                f"builtin {node.func.id}() is process-dependent "
+                "(PYTHONHASHSEED / allocator layout); derive stable values "
+                "from a digest such as hashlib.sha256 instead",
+            )
+        self.generic_visit(node)
+
+
+@register
+class NoAmbientRandomness(Rule):
+    code = "DET002"
+    summary = "randomness must flow through Engine.rng or an injected Generator"
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        return ctx.in_repro_package
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self.report(
+                    node,
+                    "stdlib random module carries ambient global state; "
+                    "use Engine.rng(name) or an injected np.random.Generator",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self.report(
+                node,
+                "stdlib random module carries ambient global state; "
+                "use Engine.rng(name) or an injected np.random.Generator",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _base_chain(node.func)
+        if len(chain) >= 3 and chain[0] in ("np", "numpy") and chain[1] == "random":
+            fn = chain[2]
+            if fn == "seed":
+                self.report(node, "np.random.seed mutates hidden global state")
+            elif fn == "RandomState":
+                self.report(
+                    node, "legacy np.random.RandomState; use Engine.rng(name)"
+                )
+            elif fn == "default_rng" and not node.args and not node.keywords:
+                self.report(
+                    node,
+                    "unseeded np.random.default_rng() draws OS entropy; "
+                    "seed it explicitly or use Engine.rng(name)",
+                )
+            elif fn[:1].islower() and fn not in ("default_rng",):
+                self.report(
+                    node,
+                    f"np.random.{fn} uses the hidden global generator; "
+                    "use Engine.rng(name) or an injected Generator",
+                )
+        self.generic_visit(node)
+
+
+_WALLCLOCK_TIME_FUNCS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+    "clock_gettime",
+}
+_WALLCLOCK_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+
+@register
+class NoWallClock(Rule):
+    code = "DET003"
+    summary = "no wall-clock reads inside the timed layers"
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        return ctx.in_timed_layer
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.report(
+            node,
+            f"{what} reads the wall clock inside a timed layer; simulated "
+            "components must only observe engine.now",
+        )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALLCLOCK_TIME_FUNCS:
+                    self._flag(node, f"time.{alias.name}")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _base_chain(node.func)
+        if len(chain) >= 2:
+            base, fn = chain[-2], chain[-1]
+            if base == "time" and fn in _WALLCLOCK_TIME_FUNCS:
+                self._flag(node, f"time.{fn}")
+            elif base in ("datetime", "date") and fn in _WALLCLOCK_DATETIME_FUNCS:
+                self._flag(node, f"{base}.{fn}")
+        self.generic_visit(node)
+
+
+@register
+class NoFloatCycleArithmetic(Rule):
+    code = "DET004"
+    summary = "cycle/timestamp arithmetic must stay integral (use //)"
+
+    @classmethod
+    def _timestamp_in(cls, expr: ast.AST) -> str | None:
+        """Timestamp-named value inside ``expr``, skipping call results.
+
+        A function *of* a timestamp (``stats.ipc(0, engine.now)``) returns
+        some other quantity, so calls are not descended into.
+        """
+        if isinstance(expr, ast.Call):
+            return None
+        name = _terminal_name(expr)  # type: ignore[arg-type]
+        if _is_timestamp_name(name):
+            return name
+        for child in ast.iter_child_nodes(expr):
+            found = cls._timestamp_in(child)
+            if found is not None:
+                return found
+        return None
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        # Only the numerator matters: dividing a timestamp produces float
+        # cycles, while dividing *by* one (``bytes / engine.now``) produces
+        # a rate, which is legitimately float.
+        if isinstance(node.op, ast.Div):
+            name = self._timestamp_in(node.left)
+            if name is not None:
+                self.report(
+                    node,
+                    f"true division of timestamp operand {name!r} "
+                    "produces float cycles; use floor division (//)",
+                )
+        self.generic_visit(node)
+
+
+@register
+class NoBareSetIteration(Rule):
+    code = "DET005"
+    summary = "iteration order of a bare set can leak into scheduling"
+
+    def _check_iter(self, iterable: ast.expr) -> None:
+        if isinstance(iterable, (ast.Set, ast.SetComp)):
+            kind = "set literal" if isinstance(iterable, ast.Set) else "set comprehension"
+            self.report(
+                iterable,
+                f"iterating a bare {kind}; wrap it in sorted(...) or use a "
+                "tuple/list so the order is deterministic",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _check_comprehensions(self, node: ast.AST) -> None:
+        for gen in getattr(node, "generators", ()):
+            self._check_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehensions
+    visit_SetComp = _check_comprehensions
+    visit_DictComp = _check_comprehensions
+    visit_GeneratorExp = _check_comprehensions
+
+
+@register
+class IntegerScheduleDelay(Rule):
+    code = "SIM001"
+    summary = "Engine.schedule/schedule_at need int-typed delay expressions"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        attr = node.func.attr if isinstance(node.func, ast.Attribute) else None
+        if attr in ("schedule", "schedule_at"):
+            delay: ast.expr | None = node.args[0] if node.args else None
+            if delay is None:
+                for kw in node.keywords:
+                    if kw.arg in ("delay", "when"):
+                        delay = kw.value
+                        break
+            if delay is not None and _definitely_float(delay):
+                self.report(
+                    delay,
+                    f"{attr}() delay expression is float-typed (float "
+                    "literal, float() cast, or true division); cycle "
+                    "delays must be ints",
+                )
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def _suppressed_codes(line: str) -> set[str] | None:
+    """Codes silenced on this line; empty set means 'all'; None means none."""
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if codes is None:
+        return set()
+    return {code.strip().upper() for code in codes.split(",") if code.strip()}
+
+
+def _apply_noqa(
+    diagnostics: Iterable[Diagnostic], lines: tuple[str, ...]
+) -> list[Diagnostic]:
+    kept: list[Diagnostic] = []
+    for diag in diagnostics:
+        line = lines[diag.line - 1] if 0 < diag.line <= len(lines) else ""
+        codes = _suppressed_codes(line)
+        if codes is not None and (not codes or diag.code in codes):
+            continue
+        kept.append(diag)
+    return kept
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Lint one source buffer; ``path`` drives the path-scoped rules."""
+    ctx = FileContext(path=path, lines=tuple(source.splitlines()))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                code="E999",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    diagnostics: list[Diagnostic] = []
+    for rule_cls in RULES.values():
+        if not rule_cls.applies(ctx):
+            continue
+        rule = rule_cls(ctx)
+        rule.visit(tree)
+        diagnostics.extend(rule.diagnostics)
+    diagnostics.sort(key=lambda d: (d.line, d.col, d.code))
+    return _apply_noqa(diagnostics, ctx.lines)
+
+
+def lint_file(path: Path | str) -> list[Diagnostic]:
+    path = Path(path)
+    return lint_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def _iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def lint_paths(paths: Iterable[Path | str]) -> list[Diagnostic]:
+    """Lint every ``*.py`` file under the given files/directories."""
+    diagnostics: list[Diagnostic] = []
+    for path in _iter_python_files(paths):
+        diagnostics.extend(lint_file(path))
+    return diagnostics
+
+
+def _list_rules() -> str:
+    lines = []
+    for code in sorted(RULES):
+        lines.append(f"{code}  {RULES[code].summary}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.devtools.lint",
+        description="Determinism linter for the PABST simulator tree.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule codes and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        for p in missing:
+            print(f"error: no such file or directory: {p}", file=sys.stderr)
+        return 2
+    diagnostics = lint_paths(args.paths)
+    for diag in diagnostics:
+        print(diag.format())
+    if diagnostics:
+        print(f"{len(diagnostics)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -129,6 +129,8 @@ class MemoryController:
         target.append(req)
         self._stats.requests_enqueued += 1
         self.policy.on_accept(req, now)
+        if self._engine.sanitizer is not None:
+            self._engine.sanitizer.on_accept(req)
         self._note_arrival()
         self._request_pass(now)
         return True
@@ -246,6 +248,8 @@ class MemoryController:
         bank.issue(now, req.row_id, data_end)
         req.dispatched_at = now
         req.issued_at = now
+        if self._engine.sanitizer is not None:
+            self._engine.sanitizer.on_issue(req)
         self._stats.bus_busy_cycles += self.bus.burst_cycles
         if req.is_memory_write:
             self.write_queue.remove(req)
@@ -256,6 +260,8 @@ class MemoryController:
 
     def _complete(self, req: MemoryRequest) -> None:
         req.completed_at = self._engine.now
+        if self._engine.sanitizer is not None:
+            self._engine.sanitizer.on_complete(req)
         self._stats.record_completion(req)
         self._note_retirement()
         if req.is_read and self.on_read_complete is not None:

@@ -9,8 +9,9 @@ shrink core counts and epochs for CI-speed runs.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.analysis.timeline import BandwidthTimeline
 from repro.baselines.none import NoQosMechanism
@@ -30,7 +31,26 @@ __all__ = [
     "build_system",
     "make_mechanism",
     "run_system",
+    "sanitized",
 ]
+
+# Default for build_system(sanitize=None).  The ``repro run --sanitize``
+# CLI flag and the :func:`sanitized` context manager flip this so every
+# system an experiment builds gets a runtime sanitizer without threading
+# a flag through all nine fig* modules.
+_default_sanitize = False
+
+
+@contextmanager
+def sanitized(enabled: bool = True) -> Iterator[None]:
+    """Enable the runtime sanitizer for systems built inside the block."""
+    global _default_sanitize
+    previous = _default_sanitize
+    _default_sanitize = enabled
+    try:
+        yield
+    finally:
+        _default_sanitize = previous
 
 MECHANISMS: dict[str, Callable[[], QoSMechanism]] = {
     "none": NoQosMechanism,
@@ -72,6 +92,7 @@ def build_system(
     mechanism: QoSMechanism | None = None,
     seed: int = 0,
     sample_latencies: bool = False,
+    sanitize: bool | None = None,
 ) -> System:
     """Wire a system with cores assigned to classes in spec order."""
     if not specs:
@@ -101,6 +122,7 @@ def build_system(
         mechanism=mechanism,
         seed=seed,
         sample_latencies=sample_latencies,
+        sanitize=_default_sanitize if sanitize is None else sanitize,
     )
 
 

@@ -46,7 +46,9 @@ class Fig05Result:
         return "\n".join(lines)
 
 
-def run(quick: bool = False, seed: int = 0) -> Fig05Result:
+def run(
+    quick: bool = False, seed: int = 0, sanitize: bool | None = None
+) -> Fig05Result:
     epochs, warmup = (60, 25) if quick else (140, 50)
     cores_per_class = 4
     specs = [
@@ -67,7 +69,9 @@ def run(quick: bool = False, seed: int = 0) -> Fig05Result:
             l3_ways=8,
         ),
     ]
-    system = build_system(specs, mechanism=PabstMechanism(), seed=seed)
+    system = build_system(
+        specs, mechanism=PabstMechanism(), seed=seed, sanitize=sanitize
+    )
     result = run_system(system, epochs=epochs, warmup_epochs=warmup)
     return Fig05Result(
         timeline=result.timeline,

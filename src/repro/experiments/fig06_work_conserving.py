@@ -45,7 +45,9 @@ class Fig06Result:
         return "\n".join(lines)
 
 
-def run(quick: bool = False, seed: int = 0) -> Fig06Result:
+def run(
+    quick: bool = False, seed: int = 0, sanitize: bool | None = None
+) -> Fig06Result:
     phase = 30_000 if quick else 100_000
     cycles_total = phase * (4 if quick else 6)
     specs = [
@@ -68,7 +70,9 @@ def run(quick: bool = False, seed: int = 0) -> Fig06Result:
             l3_ways=8,
         ),
     ]
-    system = build_system(specs, mechanism=PabstMechanism(), seed=seed)
+    system = build_system(
+        specs, mechanism=PabstMechanism(), seed=seed, sanitize=sanitize
+    )
     epoch_cycles = system.config.epoch_cycles
     epochs = cycles_total // epoch_cycles
     result = run_system(system, epochs=epochs, warmup_epochs=epochs // 4)

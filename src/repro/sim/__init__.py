@@ -4,9 +4,11 @@ from repro.sim.config import SystemConfig
 from repro.sim.engine import Engine, Event, SimulationError
 from repro.sim.mechanism import QoSMechanism
 from repro.sim.records import AccessType, MemoryRequest
+from repro.sim.sanitizer import SimSanitizer
 from repro.sim.stats import ClassStats, EpochSample, Stats
 
 __all__ = [
     "AccessType", "ClassStats", "Engine", "EpochSample", "Event",
-    "MemoryRequest", "QoSMechanism", "SimulationError", "Stats", "SystemConfig",
+    "MemoryRequest", "QoSMechanism", "SimSanitizer", "SimulationError",
+    "Stats", "SystemConfig",
 ]

@@ -12,11 +12,15 @@ on a shared :class:`Engine`.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.sanitizer import SimSanitizer
 
 __all__ = ["Engine", "Event", "SimulationError"]
 
@@ -63,6 +67,8 @@ class Engine:
         self._seed = seed
         self._rng_children: dict[str, np.random.Generator] = {}
         self._epoch_listeners: list[Callable[[int], None]] = []
+        #: Opt-in runtime invariant checker (see ``repro.sim.sanitizer``).
+        self.sanitizer: "SimSanitizer | None" = None
 
     # ------------------------------------------------------------------
     # time
@@ -80,19 +86,38 @@ class Engine:
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
+    @staticmethod
+    def _as_cycles(value: Any, what: str) -> int:
+        """Coerce a delay/timestamp to int cycles, rejecting fractions.
+
+        ``int(0.5)`` silently truncating to 0 reorders events relative to a
+        run where the caller meant 1; fractional cycle values are always a
+        bug upstream (float arithmetic leaking into the timing model).
+        """
+        if isinstance(value, (int, np.integer)):
+            return int(value)
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise SimulationError(
+            f"non-integral {what}={value!r}; cycle arithmetic must produce "
+            "ints (use // instead of /)"
+        )
+
     def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
+        delay = self._as_cycles(delay, "delay")
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + int(delay), callback, *args)
+        return self.schedule_at(self._now + delay, callback, *args)
 
     def schedule_at(self, when: int, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute cycle ``when``."""
+        when = self._as_cycles(when, "when")
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at cycle {when}, current time is {self._now}"
             )
-        event = Event(when=int(when), seq=self._seq, callback=callback, args=args)
+        event = Event(when=when, seq=self._seq, callback=callback, args=args)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
@@ -106,14 +131,18 @@ class Engine:
         The clock is left at ``deadline`` even if the queue drains early, so
         callers can rely on ``engine.now`` after the call.
         """
+        deadline = self._as_cycles(deadline, "deadline")
         queue = self._queue
+        sanitizer = self.sanitizer
         while queue and queue[0].when <= deadline:
             event = heapq.heappop(queue)
             if event.cancelled:
                 continue
+            if sanitizer is not None:
+                sanitizer.on_event(event.when, self._now)
             self._now = event.when
             event.callback(*event.args)
-        self._now = max(self._now, int(deadline))
+        self._now = max(self._now, deadline)
 
     def run(self, max_events: int | None = None) -> int:
         """Dispatch events until the queue is empty.
@@ -123,6 +152,7 @@ class Engine:
         """
         dispatched = 0
         queue = self._queue
+        sanitizer = self.sanitizer
         while queue:
             event = heapq.heappop(queue)
             if event.cancelled:
@@ -130,6 +160,8 @@ class Engine:
             if max_events is not None and dispatched >= max_events:
                 heapq.heappush(queue, event)
                 raise SimulationError(f"exceeded max_events={max_events}")
+            if sanitizer is not None:
+                sanitizer.on_event(event.when, self._now)
             self._now = event.when
             event.callback(*event.args)
             dispatched += 1
@@ -146,8 +178,13 @@ class Engine:
         """
         generator = self._rng_children.get(name)
         if generator is None:
+            # A stable digest, NOT builtin hash(): str hashing is salted by
+            # PYTHONHASHSEED, which would silently give each process its
+            # own streams and break cross-process replay.
+            digest = hashlib.sha256(name.encode("utf-8")).digest()
+            spawn_key = int.from_bytes(digest[:8], "big")
             child_seed = np.random.SeedSequence(
-                entropy=self._seed, spawn_key=(abs(hash(name)) % (2**63),)
+                entropy=self._seed, spawn_key=(spawn_key,)
             )
             generator = np.random.Generator(np.random.PCG64(child_seed))
             self._rng_children[name] = generator

@@ -11,7 +11,17 @@ import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 
-__all__ = ["AccessType", "MemoryRequest", "next_request_id"]
+__all__ = ["AccessType", "LIFECYCLE_STAGES", "MemoryRequest", "next_request_id"]
+
+#: Attribute names of the lifecycle timestamps, in hop order.
+LIFECYCLE_STAGES = (
+    "created_at",
+    "released_at",
+    "arrived_mc_at",
+    "dispatched_at",
+    "issued_at",
+    "completed_at",
+)
 
 _request_ids = itertools.count()
 
@@ -92,3 +102,48 @@ class MemoryRequest:
         if self.issued_at < 0 or self.arrived_mc_at < 0:
             raise ValueError(f"request {self.req_id} was never issued to a bank")
         return self.issued_at - self.arrived_mc_at
+
+    # ------------------------------------------------------------------
+    # lifecycle introspection (used by the runtime sanitizer)
+    # ------------------------------------------------------------------
+    def lifecycle(self) -> tuple[tuple[str, int], ...]:
+        """``(stage, timestamp)`` pairs in hop order (``-1`` = not reached)."""
+        return tuple((stage, getattr(self, stage)) for stage in LIFECYCLE_STAGES)
+
+    def hop_trace(self) -> str:
+        """One-line trace of every hop, for diagnostics.
+
+        Example: ``req 7 read qos=0 core=1 mc=0 bank=3 | created=10
+        released=12 arrived_mc=20 dispatched=31 issued=31 completed=55``.
+        """
+        stamps = " ".join(
+            f"{stage.removesuffix('_at')}={value}"
+            for stage, value in self.lifecycle()
+            if value >= 0
+        )
+        return (
+            f"req {self.req_id} {self.access.value} qos={self.qos_id} "
+            f"core={self.core_id} mc={self.mc_id} bank={self.bank_id} "
+            f"| {stamps or 'no timestamps'}"
+        )
+
+    def lifecycle_violation(self) -> str | None:
+        """Describe the first lifecycle-ordering violation, or None.
+
+        Stages a request legitimately skips (an L3 hit never reaches a
+        controller; a writeback is created and released in the same call)
+        are simply absent; among the stamps that *are* set, hop order must
+        be monotone and nothing may precede ``created``.
+        """
+        stamped = [(stage, value) for stage, value in self.lifecycle() if value >= 0]
+        if not stamped:
+            return None
+        if self.created_at < 0:
+            return f"request has {stamped[0][0]} but was never created"
+        for (earlier, t0), (later, t1) in zip(stamped, stamped[1:]):
+            if t1 < t0:
+                return (
+                    f"lifecycle out of order: {later}={t1} precedes "
+                    f"{earlier}={t0}"
+                )
+        return None

@@ -8,7 +8,7 @@ memory efficiency, service-time percentiles).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.records import MemoryRequest
 

@@ -33,6 +33,7 @@ from repro.sim.config import SystemConfig
 from repro.sim.engine import Engine
 from repro.sim.mechanism import QoSMechanism
 from repro.sim.records import AccessType, MemoryRequest
+from repro.sim.sanitizer import SimSanitizer
 from repro.sim.stats import Stats
 from repro.sim.topology import AddressMap, MeshTopology
 from repro.workloads.base import Access, Workload
@@ -51,6 +52,7 @@ class System:
         mechanism: QoSMechanism | None = None,
         seed: int = 0,
         sample_latencies: bool = False,
+        sanitize: bool = False,
     ) -> None:
         if not workloads:
             raise ValueError("need at least one core running a workload")
@@ -62,6 +64,8 @@ class System:
         self.config = config
         self.registry = registry
         self.engine = Engine(seed)
+        if sanitize:
+            self.engine.sanitizer = SimSanitizer()
         self.stats = Stats(sample_latencies=sample_latencies)
         self.topology = MeshTopology(config)
         self.address_map = AddressMap(config, num_slices=config.cores)
@@ -157,6 +161,8 @@ class System:
         """Close open accounting windows; call once after the last run()."""
         for controller in self.controllers:
             controller.finalize()
+        if self.engine.sanitizer is not None:
+            self.engine.sanitizer.on_run_end()
 
     def _epoch_tick(self) -> None:
         saturated = self.saturation.sample()
@@ -212,6 +218,8 @@ class System:
             self.config.writeback_accounting == "demand"
             and bool(outcome.mem_writebacks)
         )
+        if self.engine.sanitizer is not None:
+            self.engine.sanitizer.on_inject(req)
         self.mechanism.request_release(
             core.core_id, req, lambda: self._inject(core, req, outcome)
         )
@@ -260,6 +268,8 @@ class System:
         wb.created_at = self.engine.now
         wb.released_at = self.engine.now
         wb.mc_id = self.address_map.mc_of(info.addr)
+        if self.engine.sanitizer is not None:
+            self.engine.sanitizer.on_inject(wb)
         delay = self.topology.tile_to_mc_latency(slice_tile, wb.mc_id)
         self.engine.schedule(delay, self._deliver, wb)
 
@@ -326,6 +336,8 @@ class System:
         """Response reached the source tile: notify mechanism, wake waiters."""
         if req.completed_at < 0:
             req.completed_at = self.engine.now  # L3 hit completes locally
+            if self.engine.sanitizer is not None:
+                self.engine.sanitizer.on_complete(req)
         self.mechanism.on_response(core.core_id, req)
         line = self.address_map.line_of(req.addr)
         for callback in self._mshrs[core.core_id].complete(line):

@@ -1,0 +1,32 @@
+"""Tier-1 gate: the determinism linter must pass over the whole tree.
+
+This is the enforcement half of the devtools subsystem — any new
+``hash()`` seed, ambient RNG, wall-clock read, float cycle arithmetic, or
+set-order leak fails CI here with a file:line diagnostic.
+"""
+
+from pathlib import Path
+
+from repro.devtools.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_is_clean():
+    diagnostics = lint_paths([REPO_ROOT / "src"])
+    assert diagnostics == [], "\n" + "\n".join(d.format() for d in diagnostics)
+
+
+def test_tests_tree_is_clean():
+    diagnostics = lint_paths([REPO_ROOT / "tests"])
+    assert diagnostics == [], "\n" + "\n".join(d.format() for d in diagnostics)
+
+
+def test_benchmarks_and_examples_are_clean():
+    paths = [
+        path
+        for path in (REPO_ROOT / "benchmarks", REPO_ROOT / "examples")
+        if path.exists()
+    ]
+    diagnostics = lint_paths(paths)
+    assert diagnostics == [], "\n" + "\n".join(d.format() for d in diagnostics)

@@ -8,7 +8,6 @@ sources must hold, and nothing may be lost or reordered within a source.
 
 from collections import deque
 
-import pytest
 
 from repro.qos.classes import QoSRegistry
 from repro.sim.config import SystemConfig

@@ -7,9 +7,7 @@ these tests pin the timing composition of the whole request path
 NoC back).
 """
 
-import pytest
 
-from repro.cpu.model import Core
 from repro.qos.classes import QoSRegistry
 from repro.sim.config import SystemConfig
 from repro.sim.system import System

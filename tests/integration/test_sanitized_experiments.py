@@ -1,0 +1,74 @@
+"""Sanitizer-enabled integration runs.
+
+The paper-figure experiments must hold every runtime invariant (clock
+monotonicity, lifecycle ordering, EDF deadline monotonicity, request
+conservation) end to end; and when a lifecycle *is* corrupted, the
+sanitizer must abort the run pointing at the offending request.
+"""
+
+import pytest
+
+from repro.core.pabst import PabstMechanism
+from repro.experiments import fig05_proportional, fig06_work_conserving
+from repro.experiments.common import ClassSpec, build_system, sanitized
+from repro.sim.engine import SimulationError
+from repro.workloads.stream import StreamWorkload
+
+
+def two_class_system(**kwargs):
+    specs = [
+        ClassSpec(0, "hi", weight=7, cores=2, workload_factory=StreamWorkload),
+        ClassSpec(1, "lo", weight=3, cores=2, workload_factory=StreamWorkload),
+    ]
+    return build_system(specs, mechanism=PabstMechanism(), **kwargs)
+
+
+class TestSanitizedFigureRuns:
+    def test_fig05_completes_with_zero_violations(self):
+        result = fig05_proportional.run(quick=True, sanitize=True)
+        assert result.hi_share == pytest.approx(0.7, abs=0.06)
+
+    def test_fig06_completes_with_zero_violations(self):
+        result = fig06_work_conserving.run(quick=True, sanitize=True)
+        assert result.constant_util_idle > result.constant_util_active
+
+    def test_sanitized_context_manager_covers_experiments(self):
+        with sanitized():
+            system = two_class_system()
+        assert system.engine.sanitizer is not None
+        system = two_class_system()
+        assert system.engine.sanitizer is None
+
+
+class TestSanitizerChecksRealTraffic:
+    def test_invariants_hold_and_requests_are_conserved(self):
+        system = two_class_system(sanitize=True)
+        system.run_epochs(3)
+        system.finalize()  # runs the conservation check
+        sanitizer = system.engine.sanitizer
+        assert sanitizer.injected > 0
+        assert sanitizer.completed > 0
+        assert sanitizer.violations == 0
+        assert sanitizer.injected == sanitizer.completed + sanitizer.in_flight
+
+    def test_corrupted_lifecycle_aborts_the_run(self):
+        """Deliberately corrupt completions: created_at jumps into the
+        future, so completed < created on the next retiring request."""
+        system = two_class_system(sanitize=True)
+        for controller in system.controllers:
+            original = controller._complete
+
+            def corrupted(req, _original=original):
+                req.created_at = 10**12
+                _original(req)
+
+            controller._complete = corrupted
+        with pytest.raises(SimulationError, match="sanitizer: .*lifecycle"):
+            system.run_epochs(3)
+
+    def test_conservation_violation_reported_at_finalize(self):
+        system = two_class_system(sanitize=True)
+        system.run_epochs(2)
+        system.engine.sanitizer.injected += 1  # simulate a dropped request
+        with pytest.raises(SimulationError, match="conservation"):
+            system.finalize()

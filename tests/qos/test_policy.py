@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.pabst import PabstMechanism
 from repro.qos.classes import QoSRegistry
-from repro.qos.monitor import BandwidthMonitor
 from repro.qos.policy import BandwidthTargetPolicy
 from repro.sim.config import SystemConfig
 from repro.sim.system import System

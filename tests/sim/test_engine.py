@@ -1,5 +1,9 @@
 """Unit tests for the discrete-event engine."""
 
+import os
+import subprocess
+import sys
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -59,6 +63,43 @@ class TestScheduling:
         assert result == [5]
 
 
+class TestIntegralDelays:
+    """Float cycle values must fail loudly, never silently truncate."""
+
+    def test_fractional_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError, match="non-integral delay"):
+            engine.schedule(0.5, lambda: None)  # repro: noqa[SIM001]
+
+    def test_fractional_when_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError, match="non-integral when"):
+            engine.schedule_at(10.25, lambda: None)  # repro: noqa[SIM001]
+
+    def test_integral_float_accepted(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(3.0, lambda: seen.append(engine.now))  # repro: noqa[SIM001]
+        engine.run()
+        assert seen == [3]
+
+    def test_numpy_integer_accepted(self):
+        import numpy as np
+
+        engine = Engine()
+        seen = []
+        engine.schedule(np.int64(4), lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [4]
+
+    def test_fractional_never_truncates_to_reordering(self):
+        """The historic failure: int(0.5) -> 0 reordered events."""
+        engine = Engine()
+        engine.schedule(1, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.schedule(0.5, lambda: None)  # repro: noqa[SIM001]
+
+
 class TestCancellation:
     def test_cancelled_event_does_not_fire(self):
         engine = Engine()
@@ -85,6 +126,35 @@ class TestCancellation:
         assert fired == ["keep"]
         assert not keep.cancelled
 
+    def test_cancelled_event_at_queue_head_is_skipped(self):
+        """Lazy deletion: the dead head is discarded, later events fire."""
+        engine = Engine()
+        fired = []
+        head = engine.schedule(5, fired.append, "head")
+        engine.schedule(10, fired.append, "tail")
+        head.cancel()
+        engine.run_until(20)
+        assert fired == ["tail"]
+        assert engine.now == 20
+
+    def test_pending_events_counts_cancelled_until_popped(self):
+        """Lazy deletion leaves dead events in the queue; pending_events
+        reflects the raw queue length, not the live-event count."""
+        engine = Engine()
+        live = engine.schedule(5, lambda: None)
+        dead = engine.schedule(10, lambda: None)
+        dead.cancel()
+        assert engine.pending_events == 2
+        engine.run()
+        assert engine.pending_events == 0
+        assert dead.cancelled and not live.cancelled
+
+    def test_run_dispatch_count_excludes_cancelled(self):
+        engine = Engine()
+        engine.schedule(1, lambda: None)
+        engine.schedule(2, lambda: None).cancel()
+        assert engine.run() == 1
+
 
 class TestRunUntil:
     def test_run_until_stops_at_deadline(self):
@@ -109,6 +179,18 @@ class TestRunUntil:
         engine.schedule(50, fired.append, True)
         engine.run_until(50)
         assert fired == [True]
+
+    def test_clock_lands_on_deadline_when_queue_drains_early(self):
+        """All events fire well before the deadline; the clock must still
+        end exactly at the deadline so callers can chain run_until calls."""
+        engine = Engine()
+        fired = []
+        engine.schedule(3, fired.append, "a")
+        engine.schedule(7, fired.append, "b")
+        engine.run_until(1_000)
+        assert fired == ["a", "b"]
+        assert engine.now == 1_000
+        assert engine.pending_events == 0
 
 
 class TestRun:
@@ -157,6 +239,45 @@ class TestRng:
         e2 = Engine(seed=3)
         v2 = e2.rng("b").integers(0, 1 << 30, 5)
         assert list(v1) == list(v2)
+
+
+class TestRngCrossProcessStability:
+    """Named streams must not depend on the process's string-hash salt.
+
+    The seed derivation once used ``abs(hash(name))``, which varies with
+    ``PYTHONHASHSEED`` — every worker process silently got different
+    streams.  Spawn subprocesses with different hash seeds and require
+    identical draws.
+    """
+
+    SNIPPET = (
+        "from repro.sim.engine import Engine;"
+        "print(list(Engine(seed=7).rng('core.0').integers(0, 1 << 30, 8)))"
+    )
+
+    def _draws(self, hash_seed: str) -> str:
+        repo_src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src"
+        )
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", self.SNIPPET],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return proc.stdout.strip()
+
+    def test_streams_identical_across_hash_seeds(self):
+        draws = {self._draws(seed) for seed in ("0", "1", "424242")}
+        assert len(draws) == 1, f"streams diverged across processes: {draws}"
+
+    def test_subprocess_matches_in_process(self):
+        expected = list(Engine(seed=7).rng("core.0").integers(0, 1 << 30, 8))
+        assert self._draws("0") == str(expected)
 
 
 @given(delays=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=60))

@@ -1,6 +1,5 @@
 """Unit and property tests for the mesh topology and address mapping."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.sim.config import SystemConfig
