@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cache.partition import WayPartition
-from repro.cache.replacement import make_policy
+from repro.cache.replacement import LruPolicy, make_policy
 
 __all__ = ["CacheLine", "LookupResult", "SetAssociativeCache"]
 
@@ -76,9 +76,16 @@ class SetAssociativeCache:
         self._set_mask = num_sets - 1
         self.partition = partition
         self._policy = make_policy(replacement, num_sets, assoc, seed)
+        # hot-path shortcuts: LRU victim selection is fused into _fill
+        self._lru = self._policy if isinstance(self._policy, LruPolicy) else None
+        self._all_ways = tuple(range(assoc))
         self._ways: list[list[CacheLine | None]] = [
             [None] * assoc for _ in range(num_sets)
         ]
+        # Tag store: line number (addr >> line_shift) -> resident way.  The
+        # line number embeds the set bits, so one flat dict replaces the
+        # per-set associative scan on every probe.
+        self._where: dict[int, int] = {}
         # statistics
         self.hits = 0
         self.misses = 0
@@ -111,7 +118,11 @@ class SetAssociativeCache:
         On a miss with ``allocate=True`` the line is filled and a victim may
         be returned; a dirty victim means the caller must emit a writeback.
         """
-        set_index, way = self._find(addr)
+        # inlined _find()/line_addr(): this is the hottest entry point of
+        # the cache model (once per level per demand access)
+        line_number = addr >> self._line_shift
+        set_index = line_number & self._set_mask
+        way = self._where.get(line_number)
         if way is not None:
             line = self._ways[set_index][way]
             assert line is not None
@@ -123,7 +134,7 @@ class SetAssociativeCache:
         self.misses += 1
         if not allocate:
             return LookupResult(hit=False)
-        victim = self._fill(set_index, self.line_addr(addr), qos_id, dirty=is_write)
+        victim = self._fill(set_index, line_number << self._line_shift, qos_id, dirty=is_write)
         return LookupResult(hit=False, victim=victim)
 
     def fill(self, addr: int, qos_id: int, dirty: bool = False) -> CacheLine | None:
@@ -144,42 +155,81 @@ class SetAssociativeCache:
             return None
         line = self._ways[set_index][way]
         self._ways[set_index][way] = None
+        if line is not None:
+            del self._where[line.line_addr >> self._line_shift]
         return line
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _find(self, addr: int) -> tuple[int, int | None]:
-        line_addr = self.line_addr(addr)
-        set_index = self.set_index(addr)
-        for way, line in enumerate(self._ways[set_index]):
-            if line is not None and line.line_addr == line_addr:
-                return set_index, way
-        return set_index, None
+        # one dict probe instead of an associative way scan; this runs once
+        # per cache level per demand access and dominates the model's cost
+        line = addr >> self._line_shift
+        return line & self._set_mask, self._where.get(line)
 
     def _fill(self, set_index: int, line_addr: int, qos_id: int, dirty: bool) -> CacheLine | None:
         ways = self._ways[set_index]
+        partition = self.partition
+        # direct probe of the partition's allowed-ways cache; configured
+        # masks are never empty, and a missing entry means "all ways"
         allowed = (
-            self.partition.allowed_ways(qos_id)
-            if self.partition is not None
-            else range(self.assoc)
+            partition._allowed_cache.get(qos_id) or self._all_ways
+            if partition is not None
+            else self._all_ways
         )
         victim_line: CacheLine | None = None
         target_way: int | None = None
-        for way in allowed:
-            if ways[way] is None:
-                target_way = way
-                break
-        if target_way is None:
-            candidates = list(allowed)
-            if not candidates:
-                raise ValueError(f"QoS class {qos_id} has no ways in {self.name}")
-            target_way = self._policy.victim(set_index, candidates)
+        lru = self._lru
+        if lru is not None:
+            # fused scan: first empty way wins, otherwise the LRU way
+            # (first-minimal stamp, matching LruPolicy.victim) — one pass
+            # instead of empty-way scan + candidate list + victim scan
+            stamps = lru._stamps[set_index]
+            lru_way = -1
+            lru_stamp = 0
+            for way in allowed:
+                if ways[way] is None:
+                    target_way = way
+                    break
+                stamp = stamps[way]
+                if lru_way < 0 or stamp < lru_stamp:
+                    lru_way = way
+                    lru_stamp = stamp
+            if target_way is None:
+                if lru_way < 0:
+                    raise ValueError(f"QoS class {qos_id} has no ways in {self.name}")
+                target_way = lru_way
+            if ways[target_way] is not None:
+                victim_line = ways[target_way]
+                self.evictions += 1
+                del self._where[victim_line.line_addr >> self._line_shift]
+                if victim_line.dirty:
+                    self.dirty_evictions += 1
+            ways[target_way] = CacheLine(line_addr=line_addr, qos_id=qos_id, dirty=dirty)
+            self._where[line_addr >> self._line_shift] = target_way
+            # inlined LruPolicy.on_access (method call saved on every fill)
+            lru._clock += 1
+            stamps[target_way] = lru._clock
+            return victim_line
+        else:
+            for way in allowed:
+                if ways[way] is None:
+                    target_way = way
+                    break
+            if target_way is None:
+                candidates = list(allowed)
+                if not candidates:
+                    raise ValueError(f"QoS class {qos_id} has no ways in {self.name}")
+                target_way = self._policy.victim(set_index, candidates)
+        if victim_line is None and ways[target_way] is not None:
             victim_line = ways[target_way]
             self.evictions += 1
-            if victim_line is not None and victim_line.dirty:
+            del self._where[victim_line.line_addr >> self._line_shift]
+            if victim_line.dirty:
                 self.dirty_evictions += 1
         ways[target_way] = CacheLine(line_addr=line_addr, qos_id=qos_id, dirty=dirty)
+        self._where[line_addr >> self._line_shift] = target_way
         self._policy.on_access(set_index, target_way)
         return victim_line
 

@@ -114,8 +114,9 @@ class CacheHierarchy:
             return HierarchyOutcome(level=HitLevel.L2)
 
         writebacks: list[int] = []
-        slice_id = self._address_map.slice_of(addr) % len(self.l3_slices)
-        l3 = self.l3_slices[slice_id]
+        l3_slices = self.l3_slices
+        slice_id = self._address_map.slice_of(addr) % len(l3_slices)
+        l3 = l3_slices[slice_id]
 
         # A dirty L2 victim is written into the L3 (it may itself push a
         # dirty L3 line out to memory).

@@ -28,19 +28,31 @@ class ReplacementPolicy(ABC):
 
 
 class LruPolicy(ReplacementPolicy):
-    """True LRU via per-line last-access stamps."""
+    """True LRU via per-line last-access stamps.
+
+    Stamps live in plain nested lists: ``on_access`` runs once per cache
+    hit and fill, where a numpy scalar store costs an order of magnitude
+    more than a list item assignment.
+    """
 
     def __init__(self, num_sets: int, assoc: int) -> None:
-        self._stamps = np.zeros((num_sets, assoc), dtype=np.int64)
+        self._stamps: list[list[int]] = [[0] * assoc for _ in range(num_sets)]
         self._clock = 0
 
     def on_access(self, set_index: int, way: int) -> None:
         self._clock += 1
-        self._stamps[set_index, way] = self._clock
+        self._stamps[set_index][way] = self._clock
 
     def victim(self, set_index: int, candidate_ways: Sequence[int]) -> int:
         stamps = self._stamps[set_index]
-        return min(candidate_ways, key=lambda way: stamps[way])
+        best = candidate_ways[0]
+        best_stamp = stamps[best]
+        for way in candidate_ways:
+            stamp = stamps[way]
+            if stamp < best_stamp:
+                best = way
+                best_stamp = stamp
+        return best
 
 
 class RandomPolicy(ReplacementPolicy):

@@ -5,6 +5,8 @@ Usage::
     python -m repro list
     python -m repro run fig05 [--quick] [--seed N] [--sanitize]
     python -m repro run-all [--quick]
+    python -m repro sweep fig07 [--quick] [--workers N] [--no-cache]
+    python -m repro bench [figs ...] [--quick] [--check BASELINE]
     python -m repro info
     python -m repro lint [paths ...]
 
@@ -99,10 +101,96 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.runner import ResultCache, run_specs, specs_for_figure
+
+    if args.experiment not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        print(f"unknown experiment {args.experiment!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    specs = specs_for_figure(args.experiment, quick=args.quick, seed=args.seed)
+    cache = ResultCache(args.cache_dir)
+    started = time.perf_counter()
+    outcomes = run_specs(
+        specs,
+        workers=args.workers,
+        timeout=args.timeout,
+        cache=cache,
+        use_cache=not args.no_cache,
+        progress=print,
+    )
+    elapsed = time.perf_counter() - started
+
+    failures = 0
+    for outcome in outcomes:
+        print()
+        origin = "cached" if outcome.cached else "fresh"
+        if outcome.ok:
+            rate = outcome.result.get("events_per_sec", 0.0)
+            print(f"== {outcome.spec.label()} ({origin}, "
+                  f"{rate:,.0f} events/s)")
+            print(outcome.result["report"])
+        else:
+            failures += 1
+            print(f"== {outcome.spec.label()} FAILED: {outcome.error}")
+    hits = sum(1 for o in outcomes if o.cached)
+    print()
+    print(f"[{len(outcomes)} cell(s), {hits} cached, {failures} failed, "
+          f"{elapsed:.1f}s, workers={args.workers}]")
+    return 1 if failures else 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runner.bench import (
+        check_against_baseline,
+        default_bench_path,
+        run_bench,
+        write_bench,
+    )
+
+    figures = args.figures or list(EXPERIMENTS)
+    unknown = [name for name in figures if name not in EXPERIMENTS]
+    if unknown:
+        known = ", ".join(EXPERIMENTS)
+        print(f"unknown experiment(s) {unknown}; known: {known}",
+              file=sys.stderr)
+        return 2
+    document = run_bench(figures, quick=args.quick, seed=args.seed)
+    for figure, entry in document["figures"].items():
+        if entry.get("ok"):
+            print(f"{figure:<8} {entry['wall_seconds']:>8.2f}s  "
+                  f"{entry['events']:>12,} events  "
+                  f"{entry['events_per_sec']:>12,.0f} events/s")
+        else:
+            print(f"{figure:<8} FAILED: {entry.get('error')}")
+
+    if args.check is not None:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        problems = check_against_baseline(
+            document, baseline, tolerance=args.tolerance
+        )
+        for problem in problems:
+            print(f"REGRESSION {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"[within {args.tolerance:.0%} of {args.check}]")
+
+    output = args.output if args.output is not None else default_bench_path()
+    path = write_bench(document, output)
+    print(f"[wrote {path}]")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools import lint
 
-    return lint.main(args.paths or None)
+    # An explicit argv list: passing None would make lint.main re-parse
+    # sys.argv and mistake the "lint" verb for a path.
+    return lint.main(args.paths or ["src", "tests"])
 
 
 def _cmd_info(_args: argparse.Namespace) -> int:
@@ -151,6 +239,39 @@ def build_parser() -> argparse.ArgumentParser:
     run_all.add_argument("--sanitize", action="store_true",
                          help="enable the runtime invariant sanitizer")
     run_all.set_defaults(func=_cmd_run_all)
+
+    sweep = sub.add_parser(
+        "sweep", help="run one experiment's grid cells in parallel"
+    )
+    sweep.add_argument("experiment", help="experiment name, e.g. fig07")
+    sweep.add_argument("--quick", action="store_true",
+                       help="reduced scale (seconds instead of minutes)")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = run in-process)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-cell timeout in seconds")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="ignore cached results (still refreshes them)")
+    sweep.add_argument("--cache-dir", default=".repro-cache",
+                       help="result cache directory (default: .repro-cache)")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    bench = sub.add_parser(
+        "bench", help="measure wall-clock and events/sec per figure"
+    )
+    bench.add_argument("figures", nargs="*",
+                       help="figures to benchmark (default: all)")
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced scale (seconds instead of minutes)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--output", default=None,
+                       help="output JSON path (default: BENCH_<timestamp>.json)")
+    bench.add_argument("--check", default=None,
+                       help="baseline JSON to compare events/sec against")
+    bench.add_argument("--tolerance", type=float, default=0.30,
+                       help="allowed events/sec drop vs baseline (default 0.30)")
+    bench.set_defaults(func=_cmd_bench)
 
     lint = sub.add_parser("lint", help="run the determinism linter")
     lint.add_argument("paths", nargs="*",

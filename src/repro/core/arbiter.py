@@ -34,10 +34,27 @@ __all__ = ["PriorityArbiter"]
 
 
 def _earliest_deadline(candidates: Sequence[MemoryRequest]) -> MemoryRequest:
-    return min(
-        candidates,
-        key=lambda req: (req.virtual_deadline, req.arrived_mc_at, req.req_id),
-    )
+    """Min by ``(virtual_deadline, arrived_mc_at, req_id)`` without the
+    per-candidate key-tuple allocation of ``min(..., key=...)``."""
+    best = candidates[0]
+    best_deadline = best.virtual_deadline
+    best_arrived = best.arrived_mc_at
+    best_id = best.req_id
+    for req in candidates:
+        deadline = req.virtual_deadline
+        if deadline > best_deadline:
+            continue
+        if deadline == best_deadline:
+            arrived = req.arrived_mc_at
+            if arrived > best_arrived:
+                continue
+            if arrived == best_arrived and req.req_id >= best_id:
+                continue
+        best = req
+        best_deadline = best.virtual_deadline
+        best_arrived = best.arrived_mc_at
+        best_id = best.req_id
+    return best
 
 
 class PriorityArbiter(SchedulingPolicy):
@@ -80,7 +97,9 @@ class PriorityArbiter(SchedulingPolicy):
             # writes are off the critical path: arrival order, unprioritized
             return oldest_first(candidates)
         pool: Sequence[MemoryRequest] = candidates
-        if self._row_hits_first:
+        # under the closed-page policy no row is ever latched, so the
+        # row-hit scan cannot find anything — skip it entirely
+        if self._row_hits_first and banks[0].open_page:
             row_hits = [
                 req
                 for req in candidates
@@ -88,7 +107,7 @@ class PriorityArbiter(SchedulingPolicy):
             ]
             if row_hits:
                 pool = row_hits
-        req = _earliest_deadline(pool)
+        req = _earliest_deadline(pool) if len(pool) > 1 else pool[0]
         if req.virtual_deadline > self._last_picked_deadline:
             self._last_picked_deadline = req.virtual_deadline
         return req

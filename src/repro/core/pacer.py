@@ -29,7 +29,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
-from repro.sim.engine import Engine, Event
+from repro.sim.engine import Engine
 from repro.sim.records import MemoryRequest
 
 __all__ = ["Pacer"]
@@ -49,7 +49,9 @@ class Pacer:
         self._period_num = 0  # numerator of the current source period
         self._cnext_scaled = 0  # C_next x F
         self._blocked: deque[tuple[MemoryRequest, Callable[[], None]]] = deque()
-        self._event: Event | None = None
+        # identifies the newest armed release event; superseded events
+        # dispatch, see a stale token, and return (no Event allocation)
+        self._release_token = 0
         self.released = 0
         self.throttled = 0
         self._demand_since_epoch = 0
@@ -118,7 +120,7 @@ class Pacer:
     # internals
     # ------------------------------------------------------------------
     def _now_scaled(self) -> int:
-        return self._engine.now * self._den
+        return self._engine._now * self._den
 
     def _allowed_now(self) -> bool:
         return self._cnext_scaled <= self._now_scaled()
@@ -136,28 +138,31 @@ class Pacer:
         """Earliest cycle the head of the blocked queue may issue."""
         num = self._cnext_scaled
         den = self._den
-        return max(self._engine.now, -(-num // den))
+        return max(self._engine._now, -(-num // den))
 
     def _reschedule(self) -> None:
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
+        self._release_token += 1  # invalidate any armed release event
         if not self._blocked:
             return
         when = self._release_time()
-        if when <= self._engine.now:
-            self._release_head()
+        if when <= self._engine._now:
+            self._release_now()
         else:
-            self._event = self._engine.schedule_at(when, self._release_head)
+            self._engine.post_at(when, self._release_head, self._release_token)
 
-    def _release_head(self) -> None:
-        self._event = None
+    def _release_head(self, token: int) -> None:
+        if token != self._release_token:
+            return  # superseded by a reschedule since this event was armed
+        self._release_now()
+
+    def _release_now(self) -> None:
         while self._blocked and self._allowed_now():
             _, release = self._blocked.popleft()
             self._charge()
             self.released += 1
             release()
         if self._blocked:
-            self._event = self._engine.schedule_at(
-                self._release_time(), self._release_head
+            self._release_token += 1
+            self._engine.post_at(
+                self._release_time(), self._release_head, self._release_token
             )

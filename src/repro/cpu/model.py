@@ -63,7 +63,7 @@ class Core:
         self._started = True
         self._live_contexts = self.workload.contexts
         for context in range(self.workload.contexts):
-            self._engine.schedule(0, self._advance, context)
+            self._engine.post(0, self._advance, context)
 
     @property
     def now(self) -> int:
@@ -83,7 +83,7 @@ class Core:
             self._live_contexts -= 1
             return
         if access.gap > 0:
-            self._engine.schedule(access.gap, self._issue, context, access)
+            self._engine.post(access.gap, self._issue, context, access)
         else:
             self._issue(context, access)
 

@@ -30,6 +30,12 @@ DET005    no iteration over bare ``set`` literals/comprehensions —
 SIM001    ``Engine.schedule``/``schedule_at`` callsites must pass an
           int-typed delay expression (no float literals, ``float()``
           casts, or ``/`` in the delay argument).
+PERF001   ``networkx`` may only be imported by ``sim/topology.py``.
+          The mesh topology precomputes dense integer latency tables at
+          build time precisely so the per-event hot path never touches
+          graph algorithms; a new networkx import elsewhere in the
+          package almost always means shortest-path work crept back
+          into simulation code.
 ========  ==============================================================
 
 Usage::
@@ -414,6 +420,42 @@ class IntegerScheduleDelay(Rule):
                     "literal, float() cast, or true division); cycle "
                     "delays must be ints",
                 )
+        self.generic_visit(node)
+
+
+@register
+class NetworkxOnlyInTopology(Rule):
+    code = "PERF001"
+    summary = "networkx imports are confined to sim/topology.py"
+
+    #: The one module allowed to import networkx: it runs graph
+    #: algorithms once at build time to fill the dense latency tables.
+    _ALLOWED = ("sim", "topology.py")
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        parts = ctx.repro_parts
+        return parts is not None and parts != cls._ALLOWED
+
+    def _flag(self, node: ast.AST) -> None:
+        self.report(
+            node,
+            "networkx import outside sim/topology.py; graph algorithms "
+            "belong in the build-time latency-table precompute, not in "
+            "per-event simulation code (consume the dense tables on "
+            "MeshTopology instead)",
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "networkx" or alias.name.startswith("networkx."):
+                self._flag(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if module == "networkx" or module.startswith("networkx."):
+            self._flag(node)
         self.generic_visit(node)
 
 

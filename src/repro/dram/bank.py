@@ -14,7 +14,27 @@ __all__ = ["Bank"]
 
 
 class Bank:
-    """Timing state for one DRAM bank."""
+    """Timing state for one DRAM bank.
+
+    The derived timing values (row-hit/row-miss prep, post-burst recovery)
+    are flattened to plain ints at construction so the scheduler's ready
+    scan — which probes every queued request against its bank on every
+    pass — never re-derives them through :class:`DramTiming` method calls.
+    """
+
+    __slots__ = (
+        "bank_id",
+        "_timing",
+        "_page_policy",
+        "open_page",
+        "prep_hit",
+        "prep_miss",
+        "_recovery",
+        "busy_until",
+        "open_row",
+        "accesses",
+        "row_hits",
+    )
 
     def __init__(self, bank_id: int, timing: DramTiming, page_policy: str) -> None:
         if page_policy not in PagePolicy.ALL:
@@ -22,6 +42,10 @@ class Bank:
         self.bank_id = bank_id
         self._timing = timing
         self._page_policy = page_policy
+        self.open_page = page_policy == PagePolicy.OPEN
+        self.prep_hit = timing.access_prep(row_hit=True)
+        self.prep_miss = timing.access_prep(row_hit=False)
+        self._recovery = timing.bank_recovery(page_policy)
         self.busy_until = 0
         self.open_row: int | None = None
         self.accesses = 0
@@ -32,20 +56,22 @@ class Bank:
 
     def is_row_hit(self, row: int) -> bool:
         """True when the access would hit the currently open row."""
-        return self._page_policy == PagePolicy.OPEN and self.open_row == row
+        return self.open_page and self.open_row == row
 
     def prep_cycles(self, row: int) -> int:
         """Cycles from issue until the data burst can begin."""
-        return self._timing.access_prep(self.is_row_hit(row))
+        if self.open_page and self.open_row == row:
+            return self.prep_hit
+        return self.prep_miss
 
     def issue(self, now: int, row: int, data_end: int) -> None:
         """Commit an access whose data burst finishes at ``data_end``."""
-        if not self.is_free(now):
+        if now < self.busy_until:
             raise ValueError(
                 f"bank {self.bank_id} busy until {self.busy_until}, now {now}"
             )
         self.accesses += 1
-        if self.is_row_hit(row):
+        if self.open_page and self.open_row == row:
             self.row_hits += 1
-        self.busy_until = data_end + self._timing.bank_recovery(self._page_policy)
-        self.open_row = row if self._page_policy == PagePolicy.OPEN else None
+        self.busy_until = data_end + self._recovery
+        self.open_row = row if self.open_page else None

@@ -31,12 +31,14 @@ the PABST saturation monitor samples at each epoch boundary.
 
 from __future__ import annotations
 
+import heapq
 from typing import TYPE_CHECKING, Callable
 
 from repro.dram.bank import Bank
 from repro.dram.channel import DataBus
 from repro.dram.schedulers import FrFcfsPolicy, SchedulingPolicy
-from repro.sim.engine import Engine, Event
+from repro.dram.timing import PagePolicy
+from repro.sim.engine import Engine
 from repro.sim.records import MemoryRequest
 
 if TYPE_CHECKING:  # pragma: no cover - break the sim<->dram import cycle
@@ -71,15 +73,36 @@ class MemoryController:
             for bank in range(config.banks_per_mc)
         ]
         self.bus = DataBus(self._timing.t_burst)
+        # Derived timing constants for the scheduler's ready scan.  Under
+        # the closed-page policy every access pays the same prep, so the
+        # prep-vs-bus-backlog gate is request-independent.
+        self._min_prep = self._timing.access_prep(row_hit=True)
+        self._uniform_prep = (
+            None
+            if config.page_policy == PagePolicy.OPEN
+            else self._timing.access_prep(row_hit=False)
+        )
+        # front-end queue capacities, flattened for the accept hot path
+        self._read_capacity = config.frontend_read_queue
+        self._write_capacity = config.frontend_write_queue
+        self._wm_high = config.write_high_watermark
+        self._wm_low = config.write_low_watermark
+        # bank busy_until mirrored into a plain int list: the ready scan
+        # and the wakeup computation touch it for every queued request on
+        # every pass, where a list index beats an attribute load
+        self._bank_busy = [0] * config.banks_per_mc
         self.read_queue: list[MemoryRequest] = []
         self.write_queue: list[MemoryRequest] = []
         self.on_read_complete: Callable[[MemoryRequest], None] | None = None
         self._space_listeners: list[Callable[[int], None]] = []
         self._draining_writes = False
 
-        # scheduling-pass coalescing
-        self._pass_event: Event | None = None
+        # scheduling-pass coalescing: _pass_at is the armed pass time, and
+        # _pass_token identifies the newest armed pass event — superseded
+        # events dispatch, see their stale token, and return immediately
+        # (cheaper than allocating a cancellable Event per arm)
         self._pass_at: int | None = None
+        self._pass_token = 0
 
         # read-queue occupancy integral (for the saturation monitor)
         self._occ_integral = 0
@@ -105,16 +128,16 @@ class MemoryController:
 
     def try_enqueue(self, req: MemoryRequest) -> bool:
         """Accept a request into the front-end; False means queue full."""
-        now = self._engine.now
+        now = self._engine._now
         if req.is_memory_write:
-            if len(self.write_queue) >= self._config.frontend_write_queue:
+            if len(self.write_queue) >= self._write_capacity:
                 self.rejects += 1
                 self._stats.requests_rejected += 1
                 return False
             target = self.write_queue
             self.writes_accepted += 1
         else:
-            if len(self.read_queue) >= self._config.frontend_read_queue:
+            if len(self.read_queue) >= self._read_capacity:
                 self.rejects += 1
                 self._stats.requests_rejected += 1
                 return False
@@ -124,14 +147,16 @@ class MemoryController:
 
         req.arrived_mc_at = now
         req.mc_id = self.mc_id
-        req.bank_id = self._map.bank_of(req.addr)
-        req.row_id = self._map.row_of(req.addr)
+        _, _, req.bank_id, req.row_id = self._map.decode(req.addr)
         target.append(req)
         self._stats.requests_enqueued += 1
         self.policy.on_accept(req, now)
         if self._engine.sanitizer is not None:
             self._engine.sanitizer.on_accept(req)
-        self._note_arrival()
+        # inlined _note_arrival()
+        if self._inflight == 0:
+            self._active_since = now
+        self._inflight += 1
         self._request_pass(now)
         return True
 
@@ -144,7 +169,7 @@ class MemoryController:
     # ------------------------------------------------------------------
     def sample_read_occupancy(self) -> float:
         """Average read-queue occupancy since the last sample."""
-        now = self._engine.now
+        now = self._engine._now
         self._update_occupancy()
         elapsed = now - self._occ_window_start
         average = self._occ_integral / elapsed if elapsed > 0 else float(
@@ -155,33 +180,21 @@ class MemoryController:
         return average
 
     def _update_occupancy(self) -> None:
-        now = self._engine.now
+        now = self._engine._now
         self._occ_integral += len(self.read_queue) * (now - self._occ_last_update)
         self._occ_last_update = now
 
     # ------------------------------------------------------------------
     # activity accounting
     # ------------------------------------------------------------------
-    def _note_arrival(self) -> None:
-        if self._inflight == 0:
-            self._active_since = self._engine.now
-        self._inflight += 1
-
-    def _note_retirement(self) -> None:
-        self._inflight -= 1
-        if self._inflight == 0:
-            delta = self._engine.now - self._active_since
-            self.active_cycles += delta
-            self._stats.mc_active_cycles += delta
-
     def finalize(self) -> None:
         """Close open accounting intervals at the end of a run."""
         self._update_occupancy()
         if self._inflight > 0:
-            delta = self._engine.now - self._active_since
+            delta = self._engine._now - self._active_since
             self.active_cycles += delta
             self._stats.mc_active_cycles += delta
-            self._active_since = self._engine.now
+            self._active_since = self._engine._now
 
     # ------------------------------------------------------------------
     # scheduling passes
@@ -190,16 +203,28 @@ class MemoryController:
         """Coalesce scheduling passes: keep at most one, at the earliest time."""
         if self._pass_at is not None and self._pass_at <= when:
             return
-        if self._pass_event is not None:
-            self._pass_event.cancel()
         self._pass_at = when
-        self._pass_event = self._engine.schedule_at(when, self._run_pass)
+        token = self._pass_token + 1
+        self._pass_token = token
+        # inlined engine.post_at (the arm rate makes even the call overhead
+        # measurable); `when` is always an int >= engine._now here
+        engine = self._engine
+        seq = engine._seq
+        engine._seq = seq + 1
+        engine._live += 1
+        heapq.heappush(engine._queue, (when, seq, self._run_pass, (token,)))
 
-    def _run_pass(self) -> None:
-        self._pass_event = None
+    def _run_pass(self, token: int) -> None:
+        if token != self._pass_token:
+            return  # superseded by a later request for an earlier pass
         self._pass_at = None
-        now = self._engine.now
-        self._update_write_mode()
+        now = self._engine._now
+        # watermark-based write-drain switch (inlined _update_write_mode)
+        if self._draining_writes:
+            if len(self.write_queue) <= self._wm_low:
+                self._draining_writes = False
+        elif len(self.write_queue) >= self._wm_high:
+            self._draining_writes = True
         issued_reads = self._issue_ready(now)
         if issued_reads:
             self._notify_space()
@@ -207,84 +232,159 @@ class MemoryController:
         # the data-bus issue gate, neither of which produces its own event.
         self._schedule_wakeup(now)
 
-    def _update_write_mode(self) -> None:
-        if self._draining_writes:
-            if len(self.write_queue) <= self._config.write_low_watermark:
-                self._draining_writes = False
-        elif len(self.write_queue) >= self._config.write_high_watermark:
-            self._draining_writes = True
-
     def _ready(self, queue: list[MemoryRequest], bus_backlog: int, now: int) -> list[MemoryRequest]:
         """Requests whose bank is free and whose prep covers the bus backlog."""
+        busy = self._bank_busy
+        uniform_prep = self._uniform_prep
+        if uniform_prep is not None:
+            # closed page: prep is the same for every request, so the bus
+            # gate either blocks the whole queue or none of it
+            if uniform_prep < bus_backlog:
+                return []
+            return [req for req in queue if busy[req.bank_id] <= now]
+        banks = self.banks
         ready: list[MemoryRequest] = []
         for req in queue:
-            bank = self.banks[req.bank_id]
-            if bank.is_free(now) and bank.prep_cycles(req.row_id) >= bus_backlog:
+            if busy[req.bank_id] <= now and banks[req.bank_id].prep_cycles(req.row_id) >= bus_backlog:
                 ready.append(req)
         return ready
 
     def _issue_ready(self, now: int) -> int:
-        """Serve ready requests until banks, bus, or queues run out."""
+        """Serve ready requests until banks, bus, or queues run out.
+
+        The ready lists are maintained incrementally across issues instead
+        of rescanning both queues per pick.  Within one pass ``now`` is
+        fixed, banks only become busier (the issued one), and the bus gate
+        only tightens, so filtering the previous ready list is exactly
+        equivalent to recomputing it from the full queue.
+        """
         issued_reads = 0
+        banks = self.banks
+        uniform_prep = self._uniform_prep
+        draining = self._draining_writes
+        bus_backlog = self.bus.free_at - now
+        read_queue = self.read_queue
+        ready_reads = self._ready(read_queue, bus_backlog, now) if read_queue else []
+        ready_writes: list[MemoryRequest] | None = None
         while True:
-            bus_backlog = self.bus.free_at - now
-            ready_reads = self._ready(self.read_queue, bus_backlog, now)
-            if self._draining_writes or not ready_reads:
-                ready_writes = self._ready(self.write_queue, bus_backlog, now)
+            if draining or not ready_reads:
+                if ready_writes is None:
+                    write_queue = self.write_queue
+                    ready_writes = (
+                        self._ready(write_queue, bus_backlog, now) if write_queue else []
+                    )
                 pool = ready_writes if ready_writes else ready_reads
             else:
                 pool = ready_reads
             if not pool:
                 return issued_reads
-            req = self.policy.pick(pool, self.banks, now)
+            req = self.policy.pick(pool, banks, now)
             self._issue(req, now)
             if req.is_read:
                 issued_reads += 1
+            bus_backlog = self.bus.free_at - now
+            bank_id = req.bank_id
+            if uniform_prep is not None:
+                if uniform_prep < bus_backlog:
+                    ready_reads = []
+                    if ready_writes is not None:
+                        ready_writes = []
+                else:
+                    ready_reads = [
+                        r for r in ready_reads
+                        if r is not req and r.bank_id != bank_id
+                    ]
+                    if ready_writes is not None:
+                        ready_writes = [
+                            r for r in ready_writes
+                            if r is not req and r.bank_id != bank_id
+                        ]
+            else:
+                ready_reads = [
+                    r for r in ready_reads
+                    if r is not req and r.bank_id != bank_id
+                    and banks[r.bank_id].prep_cycles(r.row_id) >= bus_backlog
+                ]
+                if ready_writes is not None:
+                    ready_writes = [
+                        r for r in ready_writes
+                        if r is not req and r.bank_id != bank_id
+                        and banks[r.bank_id].prep_cycles(r.row_id) >= bus_backlog
+                    ]
 
     def _issue(self, req: MemoryRequest, now: int) -> None:
         bank = self.banks[req.bank_id]
         prep = bank.prep_cycles(req.row_id)
         data_start, data_end = self.bus.reserve(now + prep)
         bank.issue(now, req.row_id, data_end)
+        self._bank_busy[req.bank_id] = bank.busy_until
         req.dispatched_at = now
         req.issued_at = now
         if self._engine.sanitizer is not None:
             self._engine.sanitizer.on_issue(req)
         self._stats.bus_busy_cycles += self.bus.burst_cycles
         if req.is_memory_write:
-            self.write_queue.remove(req)
+            queue = self.write_queue
         else:
             self._update_occupancy()
-            self.read_queue.remove(req)
-        self._engine.schedule_at(data_end, self._complete, req)
+            queue = self.read_queue
+        # identity-based removal: list.remove() would re-scan with the
+        # dataclass __eq__, comparing every field of every queued request
+        for index, queued in enumerate(queue):
+            if queued is req:
+                del queue[index]
+                break
+        # inlined engine.post_at; data_end is an int > now by construction
+        engine = self._engine
+        seq = engine._seq
+        engine._seq = seq + 1
+        engine._live += 1
+        heapq.heappush(engine._queue, (data_end, seq, self._complete, (req,)))
 
     def _complete(self, req: MemoryRequest) -> None:
-        req.completed_at = self._engine.now
+        now = self._engine._now
+        req.completed_at = now
         if self._engine.sanitizer is not None:
             self._engine.sanitizer.on_complete(req)
         self._stats.record_completion(req)
-        self._note_retirement()
+        # inlined _note_retirement()
+        self._inflight -= 1
+        if self._inflight == 0:
+            delta = now - self._active_since
+            self.active_cycles += delta
+            self._stats.mc_active_cycles += delta
         if req.is_read and self.on_read_complete is not None:
             self.on_read_complete(req)
-        self._request_pass(self._engine.now)
+        self._request_pass(now)
 
     def _schedule_wakeup(self, now: int) -> None:
         """Re-arm the pass at the next bank-free or bus-gate-open time."""
         if not (self.read_queue or self.write_queue):
             return
-        wake_times = [
-            bank.busy_until for bank in self.banks if not bank.is_free(now)
-        ]
-        min_prep = self._timing.access_prep(row_hit=True)
-        bus_gate = self.bus.free_at - min_prep
-        if bus_gate > now:
-            wake_times.append(bus_gate)
-        if wake_times:
-            self._request_pass(max(now + 1, min(wake_times)))
+        wake = -1
+        for busy_until in self._bank_busy:
+            if busy_until > now and (wake < 0 or busy_until < wake):
+                wake = busy_until
+        bus_gate = self.bus.free_at - self._min_prep
+        if bus_gate > now and (wake < 0 or bus_gate < wake):
+            wake = bus_gate
+        if wake >= 0:
+            # inlined _request_pass: _run_pass cleared _pass_at, so the
+            # coalescing early-out can never take — arm unconditionally
+            # (heap push inlined as in _request_pass; when > engine._now)
+            when = wake if wake > now else now + 1
+            self._pass_at = when
+            token = self._pass_token + 1
+            self._pass_token = token
+            engine = self._engine
+            seq = engine._seq
+            engine._seq = seq + 1
+            engine._live += 1
+            heapq.heappush(engine._queue, (when, seq, self._run_pass, (token,)))
 
     def _notify_space(self) -> None:
         for listener in self._space_listeners:
-            self._engine.schedule(0, listener, self.mc_id)
+            self._engine.post(0, listener, self.mc_id)
 
     # ------------------------------------------------------------------
     # introspection

@@ -31,8 +31,24 @@ __all__ = ["FcfsPolicy", "FrFcfsPolicy", "SchedulingPolicy", "oldest_first"]
 
 
 def oldest_first(candidates: Sequence[MemoryRequest]) -> MemoryRequest:
-    """Arrival order, with request id as a deterministic tiebreaker."""
-    return min(candidates, key=lambda req: (req.arrived_mc_at, req.req_id))
+    """Arrival order, with request id as a deterministic tiebreaker.
+
+    Manual min loop: ``min(..., key=...)`` allocates a key tuple per
+    candidate and this runs once per issued request.
+    """
+    best = candidates[0]
+    best_arrived = best.arrived_mc_at
+    best_id = best.req_id
+    for req in candidates:
+        arrived = req.arrived_mc_at
+        if arrived > best_arrived:
+            continue
+        if arrived == best_arrived and req.req_id >= best_id:
+            continue
+        best = req
+        best_arrived = arrived
+        best_id = req.req_id
+    return best
 
 
 class SchedulingPolicy(ABC):
@@ -71,9 +87,12 @@ class FrFcfsPolicy(SchedulingPolicy):
     def pick(
         self, candidates: Sequence[MemoryRequest], banks: Sequence[Bank], now: int
     ) -> MemoryRequest:
-        row_hits = [
-            req for req in candidates if banks[req.bank_id].is_row_hit(req.row_id)
-        ]
-        if row_hits:
-            return oldest_first(row_hits)
+        if len(candidates) == 1:
+            return candidates[0]
+        if banks[0].open_page:
+            row_hits = [
+                req for req in candidates if banks[req.bank_id].is_row_hit(req.row_id)
+            ]
+            if row_hits:
+                return oldest_first(row_hits)
         return oldest_first(candidates)

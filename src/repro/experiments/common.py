@@ -10,7 +10,7 @@ shrink core counts and epochs for CI-speed runs.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterator, Sequence
 
 from repro.analysis.timeline import BandwidthTimeline
@@ -29,6 +29,7 @@ __all__ = [
     "MECHANISMS",
     "RunResult",
     "build_system",
+    "config_overrides",
     "make_mechanism",
     "run_system",
     "sanitized",
@@ -51,6 +52,30 @@ def sanitized(enabled: bool = True) -> Iterator[None]:
         yield
     finally:
         _default_sanitize = previous
+
+
+# SystemConfig field overrides applied to every system built inside a
+# :func:`config_overrides` block.  Same pattern as ``sanitized``: the
+# runner threads sweep-wide config tweaks through all nine fig* modules
+# without changing their signatures.
+_default_overrides: dict[str, object] = {}
+
+
+@contextmanager
+def config_overrides(**overrides: object) -> Iterator[None]:
+    """Override :class:`SystemConfig` fields for systems built inside.
+
+    Unknown field names raise at build time (``dataclasses.replace``
+    validates against the config's fields).  Overrides nest: inner blocks
+    shadow outer ones field-by-field.
+    """
+    global _default_overrides
+    previous = _default_overrides
+    _default_overrides = {**previous, **overrides}
+    try:
+        yield
+    finally:
+        _default_overrides = previous
 
 MECHANISMS: dict[str, Callable[[], QoSMechanism]] = {
     "none": NoQosMechanism,
@@ -100,6 +125,8 @@ def build_system(
     total_cores = sum(spec.cores for spec in specs)
     if config is None:
         config = SystemConfig.default_experiment(cores=total_cores, num_mcs=2)
+    if _default_overrides:
+        config = replace(config, **_default_overrides)
     if total_cores > config.cores:
         raise ValueError(
             f"specs need {total_cores} cores, config has {config.cores}"

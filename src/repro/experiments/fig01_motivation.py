@@ -23,7 +23,7 @@ from repro.experiments.fig07_source_and_target import (
     run as _run_fig07,
 )
 
-__all__ = ["Fig01Result", "run", "TARGET_HI_SHARE"]
+__all__ = ["Fig01Result", "run", "sweep_cells", "TARGET_HI_SHARE"]
 
 _COLUMNS = (
     ("a", "stream", "source-only"),
@@ -43,6 +43,15 @@ class Fig01Result:
                 return self.inner.outcome(mix, mechanism)
         raise KeyError(f"Fig. 1 has no column {label!r}")
 
+    def _present_columns(self) -> list[tuple[str, str, str]]:
+        """The figure's columns restricted to mechanisms actually run."""
+        available = {(o.mix, o.mechanism) for o in self.inner.outcomes}
+        return [
+            (col, mix, mechanism)
+            for col, mix, mechanism in _COLUMNS
+            if (mix, mechanism) in available
+        ]
+
     def report(self) -> str:
         rows = [
             (
@@ -52,7 +61,7 @@ class Fig01Result:
                 TARGET_HI_SHARE,
                 self.inner.outcome(mix, mechanism).error,
             )
-            for col, mix, mechanism in _COLUMNS
+            for col, mix, mechanism in self._present_columns()
         ]
         return format_table(
             ["col", "regulator / workload", "hi share", "target", "alloc error"],
@@ -61,8 +70,15 @@ class Fig01Result:
         )
 
 
-def run(quick: bool = False, seed: int = 0) -> Fig01Result:
-    inner = _run_fig07(
-        mechanisms=("source-only", "target-only"), quick=quick, seed=seed
-    )
+def sweep_cells(quick: bool = False) -> list[dict]:
+    """One cell per single-point regulator (each runs both mixes)."""
+    return [{"mechanisms": (m,)} for m in ("source-only", "target-only")]
+
+
+def run(
+    quick: bool = False,
+    seed: int = 0,
+    mechanisms: tuple[str, ...] = ("source-only", "target-only"),
+) -> Fig01Result:
+    inner = _run_fig07(mechanisms=mechanisms, quick=quick, seed=seed)
     return Fig01Result(inner=inner)

@@ -15,7 +15,7 @@ from repro.core.pabst import PabstMechanism
 from repro.experiments.common import ClassSpec, build_system, run_system
 from repro.workloads.stream import StreamWorkload
 
-__all__ = ["Fig05Result", "run"]
+__all__ = ["Fig05Result", "run", "sweep_cells"]
 
 HI_WEIGHT = 7
 LO_WEIGHT = 3
@@ -80,3 +80,8 @@ def run(
         lo_share=result.share(1),
         utilization=result.total_utilization(),
     )
+
+
+def sweep_cells(quick: bool = False) -> list[dict]:
+    """This figure is one timeline run; a single empty cell."""
+    return [{}]

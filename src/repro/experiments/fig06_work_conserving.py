@@ -18,7 +18,7 @@ from repro.experiments.common import ClassSpec, build_system, run_system
 from repro.workloads.periodic import PeriodicStreamWorkload
 from repro.workloads.stream import StreamWorkload
 
-__all__ = ["Fig06Result", "run"]
+__all__ = ["Fig06Result", "run", "sweep_cells"]
 
 PERIODIC_WEIGHT = 7
 CONSTANT_WEIGHT = 3
@@ -100,3 +100,8 @@ def run(
         constant_util_active=sum(active) / len(active) if active else 0.0,
         constant_util_idle=sum(idle) / len(idle) if idle else 0.0,
     )
+
+
+def sweep_cells(quick: bool = False) -> list[dict]:
+    """This figure is one timeline run; a single empty cell."""
+    return [{}]

@@ -16,9 +16,11 @@ from repro.analysis.report import format_table
 from repro.experiments.common import build_system, make_mechanism, run_system
 from repro.experiments.mixes import HI_WEIGHT, LO_WEIGHT, chaser_mix, stream_mix
 
-__all__ = ["Fig07Result", "MixOutcome", "run"]
+__all__ = ["Fig07Result", "MixOutcome", "run", "sweep_cells"]
 
 TARGET_HI_SHARE = HI_WEIGHT / (HI_WEIGHT + LO_WEIGHT)
+
+_MIXES = (("stream", stream_mix), ("chaser", chaser_mix))
 
 
 @dataclass(frozen=True)
@@ -54,16 +56,29 @@ class Fig07Result:
         )
 
 
+def sweep_cells(quick: bool = False) -> list[dict]:
+    """Independent grid cells for the parallel runner: one (mix, mechanism)
+    bar per cell, each a kwargs dict for :func:`run`."""
+    return [
+        {"mixes": (mix,), "mechanisms": (mechanism,)}
+        for mix, _ in _MIXES
+        for mechanism in ("source-only", "target-only", "pabst")
+    ]
+
+
 def run(
     mechanisms: tuple[str, ...] = ("source-only", "target-only", "pabst"),
     quick: bool = False,
     seed: int = 0,
+    mixes: tuple[str, ...] = ("stream", "chaser"),
 ) -> Fig07Result:
-    """Run every mechanism on both mixes and collect the six bars."""
+    """Run every mechanism on the selected mixes and collect the bars."""
     epochs, warmup = (60, 25) if quick else (140, 50)
     outcomes: list[MixOutcome] = []
     weights = {0: float(HI_WEIGHT), 1: float(LO_WEIGHT)}
-    for mix_name, specs_factory in (("stream", stream_mix), ("chaser", chaser_mix)):
+    for mix_name, specs_factory in _MIXES:
+        if mix_name not in mixes:
+            continue
         for mechanism_name in mechanisms:
             system = build_system(
                 specs_factory(), mechanism=make_mechanism(mechanism_name), seed=seed

@@ -18,7 +18,7 @@ from repro.core.pabst import PabstMechanism
 from repro.experiments.common import ClassSpec, build_system, run_system
 from repro.workloads.stream import StreamWorkload
 
-__all__ = ["Fig08Result", "run"]
+__all__ = ["Fig08Result", "run", "sweep_cells"]
 
 L3_WEIGHT = 1       # 25%
 DDR_HI_WEIGHT = 2   # 50%
@@ -91,3 +91,8 @@ def run(quick: bool = False, seed: int = 0) -> Fig08Result:
         ddr_lo_share_of_ddr=steady.get(2, 0) / ddr_total if ddr_total else 0.0,
         utilization=result.total_utilization(),
     )
+
+
+def sweep_cells(quick: bool = False) -> list[dict]:
+    """This figure is one timeline run; a single empty cell."""
+    return [{}]

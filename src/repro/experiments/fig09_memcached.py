@@ -16,7 +16,7 @@ from repro.experiments.common import ClassSpec, build_system, make_mechanism, ru
 from repro.workloads.memcached import MemcachedWorkload
 from repro.workloads.stream import StreamWorkload
 
-__all__ = ["Fig09Result", "ServiceTimeSummary", "run"]
+__all__ = ["Fig09Result", "SCENARIOS", "ServiceTimeSummary", "run", "sweep_cells"]
 
 MEMCACHED_WEIGHT = 20
 STREAM_WEIGHT = 1
@@ -48,13 +48,13 @@ class ServiceTimeSummary:
 
 @dataclass
 class Fig09Result:
-    isolated: ServiceTimeSummary
-    baseline: ServiceTimeSummary
-    pabst: ServiceTimeSummary
+    isolated: ServiceTimeSummary | None = None
+    baseline: ServiceTimeSummary | None = None
+    pabst: ServiceTimeSummary | None = None
 
     def degradation(self, summary: ServiceTimeSummary) -> float:
         """Mean service time relative to the isolated run."""
-        if self.isolated.mean == 0:
+        if self.isolated is None or self.isolated.mean == 0:
             return 0.0
         return summary.mean / self.isolated.mean
 
@@ -63,6 +63,7 @@ class Fig09Result:
             (s.config, s.transactions, s.mean, s.p50, s.p95, s.p99,
              self.degradation(s))
             for s in (self.isolated, self.baseline, self.pabst)
+            if s is not None
         ]
         return format_table(
             ["config", "txns", "mean", "p50", "p95", "p99", "vs isolated"],
@@ -112,10 +113,28 @@ def _run_one(
     return ServiceTimeSummary.from_samples(config_name, memcached.service_times)
 
 
-def run(quick: bool = False, seed: int = 0) -> Fig09Result:
+#: scenario name -> (result field, report label, mechanism, with_aggressor)
+SCENARIOS: dict[str, tuple[str, str | None, bool]] = {
+    "isolated": ("isolated", None, False),
+    "baseline": ("none + stream", "none", True),
+    "pabst": ("pabst + stream", "pabst", True),
+}
+
+
+def sweep_cells(quick: bool = False) -> list[dict]:
+    """One cell per co-location scenario."""
+    return [{"scenarios": (name,)} for name in SCENARIOS]
+
+
+def run(
+    quick: bool = False,
+    seed: int = 0,
+    scenarios: tuple[str, ...] = ("isolated", "baseline", "pabst"),
+) -> Fig09Result:
     epochs = 80 if quick else 250
-    return Fig09Result(
-        isolated=_run_one("isolated", None, False, epochs, seed),
-        baseline=_run_one("none + stream", "none", True, epochs, seed),
-        pabst=_run_one("pabst + stream", "pabst", True, epochs, seed),
-    )
+    result = Fig09Result()
+    for name in scenarios:
+        label, mechanism, with_aggressor = SCENARIOS[name]
+        summary = _run_one(label, mechanism, with_aggressor, epochs, seed)
+        setattr(result, name, summary)
+    return result

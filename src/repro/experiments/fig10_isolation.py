@@ -18,7 +18,7 @@ from repro.experiments.common import ClassSpec, build_system, make_mechanism, ru
 from repro.workloads.spec import SPEC_PROFILES, spec_workload
 from repro.workloads.stream import StreamWorkload
 
-__all__ = ["Fig10Result", "IsolationRow", "MECHANISM_ORDER", "run"]
+__all__ = ["Fig10Result", "IsolationRow", "MECHANISM_ORDER", "default_workloads", "run", "sweep_cells"]
 
 SPEC_WEIGHT = 32
 STREAM_WEIGHT = 1
@@ -109,15 +109,23 @@ def _shared_ipcs(
     return _per_core_ipcs(system, list(range(SPEC_CORES)))
 
 
+def default_workloads(quick: bool = False) -> tuple[str, ...]:
+    """The workload set :func:`run` uses when none is given."""
+    return ("libquantum", "sphinx3") if quick else tuple(sorted(SPEC_PROFILES))
+
+
+def sweep_cells(quick: bool = False) -> list[dict]:
+    """One independent cell per workload row."""
+    return [{"workloads": (workload,)} for workload in default_workloads(quick)]
+
+
 def run(
     workloads: tuple[str, ...] | None = None,
     quick: bool = False,
     seed: int = 0,
 ) -> Fig10Result:
     if workloads is None:
-        workloads = (
-            ("libquantum", "sphinx3") if quick else tuple(sorted(SPEC_PROFILES))
-        )
+        workloads = default_workloads(quick)
     epochs = 50 if quick else 110
     result = Fig10Result()
     for workload in workloads:

@@ -19,7 +19,7 @@ from repro.experiments.common import ClassSpec, build_system, run_system
 from repro.sim.config import SystemConfig
 from repro.workloads.spec import SPEC_PROFILES, spec_workload
 
-__all__ = ["Fig11Result", "IaasRow", "run"]
+__all__ = ["Fig11Result", "IaasRow", "default_workloads", "run", "sweep_cells"]
 
 NUM_CLASSES = 4
 CORES_PER_CLASS = 2
@@ -106,13 +106,23 @@ def _pabst_ipc(workload: str, epochs: int, seed: int) -> float:
     return sum(per_class) / len(per_class)
 
 
+def default_workloads(quick: bool = False) -> tuple[str, ...]:
+    """The workload set :func:`run` uses when none is given."""
+    return ("mcf", "milc") if quick else tuple(sorted(SPEC_PROFILES))
+
+
+def sweep_cells(quick: bool = False) -> list[dict]:
+    """One independent cell per workload row."""
+    return [{"workloads": (workload,)} for workload in default_workloads(quick)]
+
+
 def run(
     workloads: tuple[str, ...] | None = None,
     quick: bool = False,
     seed: int = 0,
 ) -> Fig11Result:
     if workloads is None:
-        workloads = ("mcf", "milc") if quick else tuple(sorted(SPEC_PROFILES))
+        workloads = default_workloads(quick)
     epochs = 50 if quick else 110
     result = Fig11Result()
     for workload in workloads:

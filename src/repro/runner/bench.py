@@ -1,0 +1,102 @@
+"""Wall-clock and events/sec benchmarking of the experiment figures.
+
+``repro bench`` times each figure's full ``run()`` in-process (single
+process, no cache — the point is to measure the simulator, not the
+runner) and writes a ``BENCH_<timestamp>.json``.  With ``--check`` it
+instead compares fresh numbers against a committed baseline and fails
+when events/sec regresses beyond the tolerance; CI runs this as its
+perf smoke test against ``BENCH_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.runner.spec import RunSpec
+from repro.runner.worker import execute_spec
+
+__all__ = [
+    "check_against_baseline",
+    "default_bench_path",
+    "run_bench",
+    "write_bench",
+]
+
+
+def run_bench(
+    figures: Iterable[str], quick: bool = True, seed: int = 0
+) -> dict[str, Any]:
+    """Time each figure once; returns the bench document (JSON-ready)."""
+    results: dict[str, Any] = {}
+    for figure in figures:
+        outcome = execute_spec(RunSpec(figure=figure, quick=quick, seed=seed))
+        if not outcome.get("ok"):
+            results[figure] = {"ok": False, "error": outcome.get("error")}
+            continue
+        results[figure] = {
+            "ok": True,
+            "wall_seconds": round(outcome["wall_seconds"], 4),
+            "events": outcome["events"],
+            "events_per_sec": round(outcome["events_per_sec"], 1),
+        }
+    return {
+        "schema": 1,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "quick": quick,
+        "seed": seed,
+        "python": platform.python_version(),
+        "figures": results,
+    }
+
+
+def default_bench_path() -> Path:
+    """``BENCH_<timestamp>.json`` in the current directory."""
+    return Path(time.strftime("BENCH_%Y%m%d_%H%M%S.json"))
+
+
+def write_bench(document: Mapping[str, Any], path: Path | str) -> Path:
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def check_against_baseline(
+    document: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    tolerance: float = 0.30,
+) -> list[str]:
+    """Regression messages for figures slower than baseline * (1 - tol).
+
+    Only figures present and successful in *both* documents are compared;
+    events/sec is the metric (it is far more machine-stable than raw
+    wall-clock because the event count is deterministic).
+    """
+    problems: list[str] = []
+    baseline_figures = baseline.get("figures", {})
+    for figure, fresh in document.get("figures", {}).items():
+        base = baseline_figures.get(figure)
+        if base is None:
+            continue
+        if not fresh.get("ok"):
+            problems.append(f"{figure}: benchmark run failed: {fresh.get('error')}")
+            continue
+        if not base.get("ok"):
+            continue
+        base_rate = float(base.get("events_per_sec", 0.0))
+        fresh_rate = float(fresh.get("events_per_sec", 0.0))
+        if base_rate <= 0:
+            continue
+        floor = base_rate * (1.0 - tolerance)
+        if fresh_rate < floor:
+            problems.append(
+                f"{figure}: events/sec regressed {fresh_rate:,.0f} < "
+                f"{floor:,.0f} (baseline {base_rate:,.0f}, "
+                f"tolerance {tolerance:.0%})"
+            )
+    return problems

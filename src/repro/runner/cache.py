@@ -1,0 +1,82 @@
+"""On-disk cache for sweep results.
+
+One JSON file per (spec hash, source fingerprint) pair under
+``.repro-cache/``.  Entries store the byte-exact report text plus the
+timing metadata of the original run, so a cache hit reproduces exactly
+what a live run would have printed.  Stale entries (older fingerprints)
+are left on disk and simply never match; ``clear()`` removes everything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["ResultCache"]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """Spec-hash + fingerprint keyed store of finished run results."""
+
+    def __init__(self, directory: Path | str = DEFAULT_CACHE_DIR) -> None:
+        self.directory = Path(directory)
+
+    def _path(self, spec_hash: str, fingerprint: str) -> Path:
+        return self.directory / f"{spec_hash}-{fingerprint}.json"
+
+    def load(self, spec_hash: str, fingerprint: str) -> dict[str, Any] | None:
+        """The cached result payload, or None on miss/corruption."""
+        path = self._path(spec_hash, fingerprint)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if entry.get("spec_hash") != spec_hash:
+            return None
+        if entry.get("fingerprint") != fingerprint:
+            return None
+        result = entry.get("result")
+        return result if isinstance(result, dict) else None
+
+    def store(
+        self,
+        spec_hash: str,
+        fingerprint: str,
+        spec_json: str,
+        result: dict[str, Any],
+    ) -> Path:
+        """Persist one run's result; atomic via rename."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(spec_hash, fingerprint)
+        entry = {
+            "spec_hash": spec_hash,
+            "fingerprint": fingerprint,
+            "spec": json.loads(spec_json),
+            "result": result,
+        }
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(entry, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        tmp.replace(path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return 0
+        for path in sorted(self.directory.glob("*.json")):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -1,0 +1,37 @@
+"""Source fingerprinting for the result cache.
+
+A cached result is only valid for the code that produced it.  The
+fingerprint is a SHA-256 over every ``*.py`` file under the ``repro``
+package (paths and contents, sorted), so any source change — including
+to a figure module or the simulator kernels — invalidates all entries
+without needing per-module dependency tracking.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+__all__ = ["source_fingerprint"]
+
+_cached: tuple[str, str] | None = None
+
+
+def source_fingerprint(root: Path | str | None = None) -> str:
+    """Hex digest (16 chars) of the ``repro`` package's source tree."""
+    global _cached
+    if root is None:
+        root = Path(__file__).resolve().parent.parent
+    root = Path(root)
+    key = str(root)
+    if _cached is not None and _cached[0] == key:
+        return _cached[1]
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    fingerprint = digest.hexdigest()[:16]
+    _cached = (key, fingerprint)
+    return fingerprint

@@ -8,13 +8,26 @@ given configuration and seed.
 All hardware components in this reproduction (cores, caches, memory
 controllers, PABST governors) are plain Python objects that schedule callbacks
 on a shared :class:`Engine`.
+
+The heap holds plain ``(when, seq, event)`` tuples rather than rich event
+objects: ``seq`` is unique, so tuple comparison never falls through to the
+event itself, and the per-push/per-pop cost is a C-level int compare instead
+of a generated dataclass ``__lt__``.  Cancellation stays lazy (the standard
+heapq idiom) but the engine maintains a live-event counter so introspection
+reflects real work, not heap garbage.
+
+Fire-and-forget callbacks (the vast majority of simulator traffic) can skip
+the :class:`Event` wrapper entirely via :meth:`Engine.post` /
+:meth:`Engine.post_at`, which push a bare ``(when, seq, callback, args)``
+tuple.  The dispatch loop tells the two entry shapes apart by length; the
+ordering key ``(when, seq)`` is identical either way, so mixing the two
+forms cannot reorder anything.
 """
 
 from __future__ import annotations
 
 import hashlib
 import heapq
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
@@ -22,31 +35,57 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.sanitizer import SimSanitizer
 
-__all__ = ["Engine", "Event", "SimulationError"]
+__all__ = ["Engine", "Event", "SimulationError", "dispatched_total"]
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state."""
 
 
-@dataclass(order=True)
+#: Process-wide count of events dispatched by every engine (bench metric).
+_dispatched_total = 0
+
+
+def dispatched_total() -> int:
+    """Events dispatched by all engines in this process since import."""
+    return _dispatched_total
+
+
 class Event:
     """A scheduled callback.
 
-    Events sort by ``(when, seq)``.  ``cancel()`` marks the event dead; the
-    engine silently discards dead events when they reach the head of the
-    queue (lazy deletion, the standard heapq idiom).
+    ``cancel()`` marks the event dead; the engine silently discards dead
+    events when they reach the head of the queue (lazy deletion) and keeps
+    its live-event counter in sync.
     """
 
-    when: int
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("when", "seq", "callback", "args", "cancelled", "fired", "_engine")
+
+    def __init__(
+        self,
+        when: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+        engine: "Engine",
+    ) -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+        self._engine = engine
 
     def cancel(self) -> None:
-        """Prevent the callback from firing.  Idempotent."""
-        self.cancelled = True
+        """Prevent the callback from firing.  Idempotent.
+
+        Cancelling an event that already fired is a no-op (its live-count
+        bookkeeping was settled by the dispatch loop).
+        """
+        if not self.cancelled and not self.fired:
+            self.cancelled = True
+            self._engine._live -= 1
 
 
 class Engine:
@@ -61,9 +100,13 @@ class Engine:
     """
 
     def __init__(self, seed: int = 0) -> None:
+        # Hot-path components (controller, pacer) read _now directly to
+        # skip the property descriptor; treat it as read-only outside Engine.
         self._now = 0
         self._seq = 0
-        self._queue: list[Event] = []
+        self._queue: list[tuple[int, int, Event]] = []
+        self._live = 0
+        self.dispatched = 0
         self._seed = seed
         self._rng_children: dict[str, np.random.Generator] = {}
         self._epoch_listeners: list[Callable[[int], None]] = []
@@ -82,6 +125,15 @@ class Engine:
     def pending_events(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return len(self._queue)
+
+    @property
+    def live_events(self) -> int:
+        """Number of queued events that will actually fire.
+
+        Unlike :attr:`pending_events` this excludes lazily deleted
+        (cancelled) entries still sitting in the heap.
+        """
+        return self._live
 
     # ------------------------------------------------------------------
     # scheduling
@@ -104,22 +156,67 @@ class Engine:
         )
 
     def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
-        delay = self._as_cycles(delay, "delay")
+        """Schedule ``callback(*args)`` to run ``delay`` cycles from now.
+
+        Deliberately self-contained rather than delegating to
+        :meth:`schedule_at`: this is the single hottest call in the
+        simulator and the extra frame shows up in every profile.
+        """
+        if type(delay) is not int:
+            delay = self._as_cycles(delay, "delay")
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        when = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(when, seq, callback, args, self)
+        self._live += 1
+        heapq.heappush(self._queue, (when, seq, event))
+        return event
 
-    def schedule_at(self, when: int, callback: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``callback(*args)`` at absolute cycle ``when``."""
-        when = self._as_cycles(when, "when")
+    def post(self, delay: int, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule a fire-and-forget callback ``delay`` cycles from now.
+
+        Identical ordering semantics to :meth:`schedule`, but no
+        :class:`Event` handle is created, so the callback cannot be
+        cancelled.  Use for the simulator's bulk traffic (deliveries,
+        completions, responses) where nothing ever cancels.
+        """
+        if type(delay) is not int:
+            delay = self._as_cycles(delay, "delay")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        heapq.heappush(self._queue, (self._now + delay, seq, callback, args))
+
+    def post_at(self, when: int, callback: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget variant of :meth:`schedule_at` (no Event handle)."""
+        if type(when) is not int:
+            when = self._as_cycles(when, "when")
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at cycle {when}, current time is {self._now}"
             )
-        event = Event(when=when, seq=self._seq, callback=callback, args=args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        heapq.heappush(self._queue, (when, seq, callback, args))
+
+    def schedule_at(self, when: int, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute cycle ``when``."""
+        if type(when) is not int:
+            when = self._as_cycles(when, "when")
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at cycle {when}, current time is {self._now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(when, seq, callback, args, self)
+        self._live += 1
+        heapq.heappush(self._queue, (when, seq, event))
         return event
 
     # ------------------------------------------------------------------
@@ -134,15 +231,48 @@ class Engine:
         deadline = self._as_cycles(deadline, "deadline")
         queue = self._queue
         sanitizer = self.sanitizer
-        while queue and queue[0].when <= deadline:
-            event = heapq.heappop(queue)
-            if event.cancelled:
-                continue
-            if sanitizer is not None:
-                sanitizer.on_event(event.when, self._now)
-            self._now = event.when
-            event.callback(*event.args)
-        self._now = max(self._now, deadline)
+        heappop = heapq.heappop
+        dispatched = 0
+        try:
+            if sanitizer is None:
+                while queue and queue[0][0] <= deadline:
+                    entry = heappop(queue)
+                    if len(entry) == 4:
+                        self._now = entry[0]
+                        entry[2](*entry[3])
+                    else:
+                        event = entry[2]
+                        if event.cancelled:
+                            continue
+                        event.fired = True
+                        self._now = entry[0]
+                        event.callback(*event.args)
+                    dispatched += 1
+            else:
+                while queue and queue[0][0] <= deadline:
+                    entry = heappop(queue)
+                    if len(entry) == 4:
+                        sanitizer.on_event(entry[0], self._now)
+                        self._now = entry[0]
+                        entry[2](*entry[3])
+                    else:
+                        event = entry[2]
+                        if event.cancelled:
+                            continue
+                        event.fired = True
+                        sanitizer.on_event(entry[0], self._now)
+                        self._now = entry[0]
+                        event.callback(*event.args)
+                    dispatched += 1
+        finally:
+            # cancelled entries already decremented _live in cancel(); the
+            # dispatched ones are settled in one batch here
+            self._live -= dispatched
+            self.dispatched += dispatched
+            global _dispatched_total
+            _dispatched_total += dispatched
+        if self._now < deadline:
+            self._now = deadline
 
     def run(self, max_events: int | None = None) -> int:
         """Dispatch events until the queue is empty.
@@ -153,18 +283,33 @@ class Engine:
         dispatched = 0
         queue = self._queue
         sanitizer = self.sanitizer
-        while queue:
-            event = heapq.heappop(queue)
-            if event.cancelled:
-                continue
-            if max_events is not None and dispatched >= max_events:
-                heapq.heappush(queue, event)
-                raise SimulationError(f"exceeded max_events={max_events}")
-            if sanitizer is not None:
-                sanitizer.on_event(event.when, self._now)
-            self._now = event.when
-            event.callback(*event.args)
-            dispatched += 1
+        heappop = heapq.heappop
+        try:
+            while queue:
+                entry = heappop(queue)
+                if len(entry) == 3:
+                    event = entry[2]
+                    if event.cancelled:
+                        continue
+                    event.fired = True
+                    callback = event.callback
+                    args = event.args
+                else:
+                    callback = entry[2]
+                    args = entry[3]
+                if max_events is not None and dispatched >= max_events:
+                    heapq.heappush(queue, entry)
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                if sanitizer is not None:
+                    sanitizer.on_event(entry[0], self._now)
+                self._now = entry[0]
+                callback(*args)
+                dispatched += 1
+        finally:
+            self._live -= dispatched
+            self.dispatched += dispatched
+            global _dispatched_total
+            _dispatched_total += dispatched
         return dispatched
 
     # ------------------------------------------------------------------

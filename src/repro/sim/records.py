@@ -73,14 +73,16 @@ class MemoryRequest:
     caused_writeback: bool = False
     virtual_deadline: int = 0
 
-    @property
-    def is_read(self) -> bool:
-        return self.access is AccessType.READ
+    # Derived from ``access`` once at construction: these flags sit on the
+    # controller's per-pass hot path, where a property doing an enum
+    # membership test per call is measurable.
+    is_read: bool = field(init=False, repr=False, compare=False)
+    #: True for transactions that occupy the write path at the MC.
+    is_memory_write: bool = field(init=False, repr=False, compare=False)
 
-    @property
-    def is_memory_write(self) -> bool:
-        """True for transactions that occupy the write path at the MC."""
-        return self.access in (AccessType.WRITE, AccessType.WRITEBACK)
+    def __post_init__(self) -> None:
+        self.is_read = self.access is AccessType.READ
+        self.is_memory_write = self.access in (AccessType.WRITE, AccessType.WRITEBACK)
 
     @property
     def total_latency(self) -> int:

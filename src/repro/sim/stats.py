@@ -107,7 +107,9 @@ class Stats:
         if req.is_read:
             stats.bytes_read += req.size
             stats.reads_completed += 1
-            latency = req.total_latency
+            # inlined req.total_latency: the controller stamped
+            # completed_at immediately before calling this
+            latency = req.completed_at - req.created_at
             stats.read_latency_sum += latency
             if latency > stats.read_latency_max:
                 stats.read_latency_max = latency

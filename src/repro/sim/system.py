@@ -18,6 +18,7 @@ latency-sensitive workload's bandwidth collapses with latency — Fig. 1c).
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import deque
 from typing import Callable
 
@@ -86,6 +87,13 @@ class System:
         self._mc_pending_reads: list[dict[int, deque[MemoryRequest]]] = [
             {} for _ in range(config.num_mcs)
         ]
+        # Sorted ring of source cores with a non-empty pending queue, one
+        # per controller.  Maintained incrementally (insort on first
+        # enqueue, removal on drain) so the round-robin admission loop
+        # never re-sorts the source list.
+        self._mc_read_sources: list[list[int]] = [
+            [] for _ in range(config.num_mcs)
+        ]
         self._mc_rr_pointer: list[int] = [0] * config.num_mcs
         self._mc_pending_writes: list[deque[MemoryRequest]] = [
             deque() for _ in range(config.num_mcs)
@@ -150,7 +158,7 @@ class System:
             core.start()
         if not self._epochs_started:
             self._epochs_started = True
-            self.engine.schedule(self.config.epoch_cycles, self._epoch_tick)
+            self.engine.post(self.config.epoch_cycles, self._epoch_tick)
         self.engine.run_until(self.engine.now + cycles)
 
     def run_epochs(self, epochs: int) -> None:
@@ -172,7 +180,7 @@ class System:
             saturated=saturated,
             multiplier=self.mechanism.multiplier(),
         )
-        self.engine.schedule(self.config.epoch_cycles, self._epoch_tick)
+        self.engine.post(self.config.epoch_cycles, self._epoch_tick)
 
     # ------------------------------------------------------------------
     # memory-access path (called by cores)
@@ -184,7 +192,7 @@ class System:
             core.core_id, access.addr, access.is_write, core.qos_id
         )
         if outcome.level is HitLevel.L2:
-            self.engine.schedule(self.config.l2_latency, done)
+            self.engine.post(self.config.l2_latency, done)
             return
         self._start_miss(core, access, outcome, done)
 
@@ -231,7 +239,7 @@ class System:
         to_slice = self.topology.tile_to_tile_latency(core.core_id, slice_tile)
         if req.l3_hit:
             delay = 2 * to_slice + self.config.l3_latency
-            self.engine.schedule(delay, self._respond, core, req)
+            self.engine.post(delay, self._respond, core, req)
             return
 
         req.mc_id = self.address_map.mc_of(req.addr)
@@ -240,7 +248,7 @@ class System:
             + self.config.l3_latency
             + self.topology.tile_to_mc_latency(slice_tile, req.mc_id)
         )
-        self.engine.schedule(delay, self._deliver, req)
+        self.engine.post(delay, self._deliver, req)
         for writeback in outcome.mem_writebacks:
             self._send_writeback(core, writeback, slice_tile)
 
@@ -271,7 +279,7 @@ class System:
         if self.engine.sanitizer is not None:
             self.engine.sanitizer.on_inject(wb)
         delay = self.topology.tile_to_mc_latency(slice_tile, wb.mc_id)
-        self.engine.schedule(delay, self._deliver, wb)
+        self.engine.post(delay, self._deliver, wb)
 
     def _deliver(self, req: MemoryRequest) -> None:
         """Arrival at the MC; a full front-end queue backs up outside it."""
@@ -280,29 +288,40 @@ class System:
             if pending or not self.controllers[req.mc_id].try_enqueue(req):
                 pending.append(req)
             return
-        pending_reads = self._mc_pending_reads[req.mc_id]
-        per_core = pending_reads.get(req.core_id)
+        per_core = self._mc_pending_reads[req.mc_id].get(req.core_id)
         if per_core:
             per_core.append(req)
             return
         if not self.controllers[req.mc_id].try_enqueue(req):
-            if per_core is None:
-                per_core = deque()
-                pending_reads[req.core_id] = per_core
-            per_core.append(req)
+            self._queue_pending_read(req.mc_id, req)
+
+    def _queue_pending_read(self, mc_id: int, req: MemoryRequest) -> None:
+        """Append a backpressured read to its source's overflow FIFO.
+
+        Single point that keeps ``_mc_pending_reads`` and the sorted
+        ``_mc_read_sources`` admission ring consistent.
+        """
+        pending = self._mc_pending_reads[mc_id]
+        per_core = pending.get(req.core_id)
+        if per_core is None:
+            per_core = deque()
+            pending[req.core_id] = per_core
+            insort(self._mc_read_sources[mc_id], req.core_id)
+        per_core.append(req)
 
     def _admit_pending_reads(self, mc_id: int) -> None:
-        """Round-robin one-per-core admission of backpressured reads."""
+        """Round-robin one-per-core admission of backpressured reads.
+
+        ``_mc_read_sources[mc_id]`` is kept sorted incrementally, so each
+        admission pass rotates a snapshot of the ring at the RR pointer
+        (one bisect) instead of re-sorting the source list per pass.
+        """
         controller = self.controllers[mc_id]
         pending = self._mc_pending_reads[mc_id]
-        while True:
-            sources = sorted(core for core, queue in pending.items() if queue)
-            if not sources:
-                return
-            start = self._mc_rr_pointer[mc_id]
-            ordered = [c for c in sources if c >= start] + [
-                c for c in sources if c < start
-            ]
+        sources = self._mc_read_sources[mc_id]
+        while sources:
+            start = bisect_left(sources, self._mc_rr_pointer[mc_id])
+            ordered = sources[start:] + sources[:start]
             admitted_any = False
             for core in ordered:
                 queue = pending[core]
@@ -311,6 +330,7 @@ class System:
                 queue.popleft()
                 if not queue:
                     del pending[core]
+                    del sources[bisect_left(sources, core)]
                 self._mc_rr_pointer[mc_id] = core + 1
                 admitted_any = True
             if not admitted_any:
@@ -330,7 +350,7 @@ class System:
         if core is None:
             return
         delay = self.topology.tile_to_mc_latency(core.core_id, req.mc_id)
-        self.engine.schedule(delay, self._respond, core, req)
+        self.engine.post(delay, self._respond, core, req)
 
     def _respond(self, core: Core, req: MemoryRequest) -> None:
         """Response reached the source tile: notify mechanism, wake waiters."""

@@ -9,6 +9,11 @@ peak memory throughput.
 Addresses are hashed uniformly across L3 slices and memory controllers, the
 paper's stated assumption for keeping the global wired-OR SAT signal
 meaningful (Section III-C1).
+
+networkx is used at construction time only: shortest-path distances are
+computed once and flattened into dense integer latency tables, so the
+per-request path is two list indexes.  ``repro lint`` rule PERF001 keeps
+graph-library imports from creeping back into per-event code.
 """
 
 from __future__ import annotations
@@ -30,7 +35,12 @@ def _mix_bits(value: int) -> int:
 
 
 class AddressMap:
-    """Maps a physical address to line, L3 slice, MC, bank, and DRAM row."""
+    """Maps a physical address to line, L3 slice, MC, bank, and DRAM row.
+
+    The line -> (slice, mc, bank, row) decode is memoized: workloads revisit
+    a bounded working set of lines, so after warm-up every lookup is one
+    dict probe instead of two 64-bit hash mixes and three divisions.
+    """
 
     def __init__(self, config: SystemConfig, num_slices: int) -> None:
         self._line_shift = config.line_bytes.bit_length() - 1
@@ -39,6 +49,8 @@ class AddressMap:
         self._lines_per_row = config.lines_per_row
         self._num_slices = max(1, num_slices)
         self._hash_mcs = config.mc_interleave == "hash"
+        #: line -> (slice, mc, bank, row) memo.
+        self._decoded: dict[int, tuple[int, int, int, int]] = {}
 
     @property
     def num_mcs(self) -> int:
@@ -47,9 +59,30 @@ class AddressMap:
     def line_of(self, addr: int) -> int:
         return addr >> self._line_shift
 
+    def _decode_line(self, line: int) -> tuple[int, int, int, int]:
+        """Compute and memoize the full decode of one cache line."""
+        slice_id = _mix_bits(line) % self._num_slices
+        if not self._hash_mcs:
+            mc = line % self._num_mcs
+        else:
+            mc = (_mix_bits(line ^ 0x9E3779B97F4A7C15) >> 8) % self._num_mcs
+        bank = (line // self._num_mcs) % self._banks
+        row = line // (self._num_mcs * self._banks * self._lines_per_row)
+        decoded = (slice_id, mc, bank, row)
+        self._decoded[line] = decoded
+        return decoded
+
+    def decode(self, addr: int) -> tuple[int, int, int, int]:
+        """``(slice, mc, bank, row)`` for an address, memoized per line."""
+        line = addr >> self._line_shift
+        decoded = self._decoded.get(line)
+        if decoded is None:
+            decoded = self._decode_line(line)
+        return decoded
+
     def slice_of(self, addr: int) -> int:
         """L3 slice index for an address (uniform hash)."""
-        return _mix_bits(self.line_of(addr)) % self._num_slices
+        return self.decode(addr)[0]
 
     def mc_of(self, addr: int) -> int:
         """Memory controller index.
@@ -59,19 +92,14 @@ class AddressMap:
         on one controller, the scenario where the global wired-OR SAT
         signal over-throttles and per-controller governors help.
         """
-        line = self.line_of(addr)
-        if not self._hash_mcs:
-            return line % self._num_mcs
-        return (_mix_bits(line ^ 0x9E3779B97F4A7C15) >> 8) % self._num_mcs
+        return self.decode(addr)[1]
 
     def bank_of(self, addr: int) -> int:
-        line = self.line_of(addr)
-        return (line // self._num_mcs) % self._banks
+        return self.decode(addr)[2]
 
     def row_of(self, addr: int) -> int:
         """DRAM row id within the bank, for row-hit detection."""
-        line = self.line_of(addr)
-        return line // (self._num_mcs * self._banks * self._lines_per_row)
+        return self.decode(addr)[3]
 
 
 class MeshTopology:
@@ -80,7 +108,9 @@ class MeshTopology:
     Provides hop distances used to compute interconnect latency.  Built on a
     :func:`networkx.grid_2d_graph` so distances come from actual shortest
     paths rather than hand-rolled Manhattan arithmetic (they coincide on a
-    full mesh, which the tests assert).
+    full mesh, which the tests assert).  The graph is consulted only in
+    ``__init__``: all pairwise latencies are flattened into dense integer
+    tables so the per-request path never touches networkx.
     """
 
     def __init__(self, config: SystemConfig) -> None:
@@ -88,13 +118,30 @@ class MeshTopology:
         self._rows = config.mesh_rows
         self._hop_cycles = config.noc_hop_cycles
         self._base_cycles = config.noc_base_cycles
-        self._graph = nx.grid_2d_graph(self._cols, self._rows)
+        graph = nx.grid_2d_graph(self._cols, self._rows)
         self._tile_coords = [
             (index % self._cols, index // self._cols)
             for index in range(self._cols * self._rows)
         ]
         self._mc_coords = self._place_mcs(config.num_mcs)
-        self._distance = dict(nx.all_pairs_shortest_path_length(self._graph))
+        self._distance = dict(nx.all_pairs_shortest_path_length(graph))
+        # Dense latency tables: [src][dst] indexing, plain ints.
+        base = self._base_cycles
+        hop = self._hop_cycles
+        self._tile_tile_latency: list[list[int]] = [
+            [
+                base + self._distance[src][dst] * hop
+                for dst in self._tile_coords
+            ]
+            for src in self._tile_coords
+        ]
+        self._tile_mc_latency: list[list[int]] = [
+            [
+                base + self._distance[src][mc] * hop
+                for mc in self._mc_coords
+            ]
+            for src in self._tile_coords
+        ]
 
     def _place_mcs(self, num_mcs: int) -> list[tuple[int, int]]:
         """Spread MCs across the left and right mesh edges (paper Fig. 2)."""
@@ -128,10 +175,8 @@ class MeshTopology:
 
     def tile_to_tile_latency(self, src_tile: int, dst_tile: int) -> int:
         """One-way NoC latency between two tiles, in cycles."""
-        hops = self.hops(self._tile_coords[src_tile], self._tile_coords[dst_tile])
-        return self._base_cycles + hops * self._hop_cycles
+        return self._tile_tile_latency[src_tile][dst_tile]
 
     def tile_to_mc_latency(self, tile: int, mc_id: int) -> int:
         """One-way NoC latency from a tile to a memory controller."""
-        hops = self.hops(self._tile_coords[tile], self._mc_coords[mc_id])
-        return self._base_cycles + hops * self._hop_cycles
+        return self._tile_mc_latency[tile][mc_id]

@@ -166,6 +166,35 @@ class TestSim001ScheduleDelay:
         assert codes("engine.schedule(0.5, cb)  # repro: noqa[SIM001]\n") == []
 
 
+class TestPerf001NetworkxConfinement:
+    def test_import_in_sim_module_fires(self):
+        assert codes("import networkx as nx\n") == ["PERF001"]
+
+    def test_from_import_fires(self):
+        assert codes("from networkx import grid_2d_graph\n") == ["PERF001"]
+
+    def test_submodule_import_fires(self):
+        assert codes(
+            "import networkx.algorithms\n", REPRO_PATH
+        ) == ["PERF001"]
+
+    def test_topology_module_is_allowed(self):
+        assert codes(
+            "import networkx as nx\n", "src/repro/sim/topology.py"
+        ) == []
+
+    def test_tests_are_out_of_scope(self):
+        assert codes("import networkx as nx\n", TEST_PATH) == []
+
+    def test_unrelated_import_ok(self):
+        assert codes("import heapq\n") == []
+
+    def test_noqa_suppresses(self):
+        assert codes(
+            "import networkx as nx  # repro: noqa[PERF001]\n"
+        ) == []
+
+
 class TestNoqaForms:
     def test_bare_noqa_suppresses_everything(self):
         assert codes("seed = hash(when / 2)  # repro: noqa\n") == []
@@ -191,6 +220,7 @@ class TestDriver:
     def test_registry_covers_documented_rules(self):
         assert set(RULES) == {
             "DET001", "DET002", "DET003", "DET004", "DET005", "SIM001",
+            "PERF001",
         }
 
     def test_main_exit_codes(self, tmp_path: Path, capsys):

@@ -1,0 +1,41 @@
+"""Byte-exact golden pinning of experiment reports.
+
+The perf work on the simulator kernels (dense latency tables, memoized
+address decode, the engine's plain-tuple heap, the controller's pass
+coalescing) is only legal because it is bit-identical: same events, same
+order, same numbers.  These tests pin the quick fig05/fig06 reports
+byte-for-byte against committed golden files, so any future "harmless"
+optimization that perturbs event order fails immediately.
+
+Regenerating (only after an intentional semantic change)::
+
+    PYTHONPATH=src python -c "
+    from repro.experiments import fig05_proportional as m
+    open('tests/experiments/golden/fig05_quick_seed0.txt', 'w').write(
+        m.run(quick=True, seed=0).report() + '\\n')"
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import fig05_proportional, fig06_work_conserving
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+CASES = [
+    ("fig05_quick_seed0.txt", fig05_proportional),
+    ("fig06_quick_seed0.txt", fig06_work_conserving),
+]
+
+
+@pytest.mark.parametrize("filename,module", CASES, ids=lambda c: str(c))
+def test_quick_report_matches_golden_bytes(filename, module):
+    golden_path = GOLDEN_DIR / filename
+    expected = golden_path.read_text(encoding="utf-8")
+    actual = module.run(quick=True, seed=0).report() + "\n"
+    assert actual == expected, (
+        f"{filename} diverged from the committed golden output; if this "
+        "change is intentional, regenerate the golden file (see module "
+        "docstring), otherwise an optimization broke bit-determinism"
+    )

@@ -1,0 +1,65 @@
+"""Regression test pinning the round-robin admission order.
+
+``System._admit_pending_reads`` was rewritten to rotate an incrementally
+maintained sorted source ring (one bisect per pass) instead of calling
+``sorted()`` on every admission.  This test pins the exact admission
+sequence for a mixed arrival pattern, so any future change to the ring
+bookkeeping that perturbs fairness or ordering fails loudly.
+"""
+
+from tests.integration.test_backpressure import make_system, read_for
+
+
+class BudgetController:
+    """Stand-in controller admitting up to ``budget`` requests."""
+
+    def __init__(self):
+        self.budget = 0
+        self.admitted = []
+
+    def try_enqueue(self, req):
+        if self.budget <= 0:
+            return False
+        self.budget -= 1
+        req.arrived_mc_at = 0
+        self.admitted.append(req.core_id - 100)
+        return True
+
+
+def test_round_robin_admission_order_is_pinned():
+    system = make_system(cores=6)
+    controller = BudgetController()
+    system.controllers[0] = controller
+
+    # Arrival pattern: core 3 twice, core 1 twice, core 5, core 0, core 5
+    # again — everything blocks (budget 0) into per-core overflow FIFOs.
+    arrivals = [(3, 2), (1, 2), (5, 1), (0, 1), (5, 1)]
+    index = 0
+    for core, count in arrivals:
+        for _ in range(count):
+            system._queue_pending_read(0, read_for(system, core, index))
+            index += 1
+    assert sorted(system._mc_pending_reads[0]) == [100, 101, 103, 105]
+
+    # Three slots open: the ring admits sources 0, 1, 3 (sorted order from
+    # pointer 0), then blocks trying core 5; the pointer parks past 3.
+    controller.budget = 3
+    system._admit_pending_reads(0)
+    assert controller.admitted == [0, 1, 3]
+    # the ring tracks the synthetic source ids (100 + core)
+    assert system._mc_rr_pointer[0] == 104
+
+    # Two more sources arrive while blocked.
+    for core in (2, 3):
+        system._queue_pending_read(0, read_for(system, core, index))
+        index += 1
+
+    # Unlimited budget: admission resumes AT the pointer (5 first, not 0),
+    # then wraps 1, 2, 3, and drains the remainders round-robin.
+    controller.budget = 100
+    system._admit_pending_reads(0)
+    assert controller.admitted == [0, 1, 3, 5, 1, 2, 3, 5, 3]
+    assert controller.budget == 100 - 6
+    assert not system._mc_pending_reads[0]
+    assert not system._mc_read_sources[0]
+    assert system._mc_rr_pointer[0] == 104

@@ -6,9 +6,6 @@ apply out there — that is the Fig. 1b failure mode — but fairness across
 sources must hold, and nothing may be lost or reordered within a source.
 """
 
-from collections import deque
-
-
 from repro.qos.classes import QoSRegistry
 from repro.sim.config import SystemConfig
 from repro.sim.records import AccessType, MemoryRequest
@@ -88,12 +85,10 @@ class TestRoundRobinAdmission:
     def test_priorities_do_not_apply_in_overflow(self):
         """The overflow FIFO ignores QoS: strict per-source FIFO order."""
         system = make_system(cores=2)
-        queue = deque()
-        system._mc_pending_reads[0][0] = queue
         first = read_for(system, 0, 0)
         second = read_for(system, 0, 1)
-        queue.append(first)
-        queue.append(second)
+        system._queue_pending_read(0, first)
+        system._queue_pending_read(0, second)
         system._admit_pending_reads(0)
         # first-in was admitted first regardless of any priority state
         assert first.arrived_mc_at >= 0

@@ -1,0 +1,96 @@
+"""Tests for the bench document and baseline regression check."""
+
+import json
+
+from repro.runner import bench
+from repro.runner.bench import check_against_baseline, run_bench, write_bench
+
+
+def _doc(**figures):
+    return {"schema": 1, "figures": figures}
+
+
+def _entry(rate, ok=True, **extra):
+    entry = {"ok": ok, "events_per_sec": rate, "events": 1000,
+             "wall_seconds": 1.0}
+    entry.update(extra)
+    return entry
+
+
+class TestRunBench:
+    def test_document_structure(self, monkeypatch):
+        def fake_execute(spec):
+            return {"ok": True, "wall_seconds": 1.23456, "events": 42,
+                    "events_per_sec": 34.0123}
+
+        monkeypatch.setattr(bench, "execute_spec", fake_execute)
+        document = run_bench(["fig05", "fig06"], quick=True, seed=7)
+        assert document["schema"] == 1
+        assert document["quick"] is True
+        assert document["seed"] == 7
+        assert set(document["figures"]) == {"fig05", "fig06"}
+        entry = document["figures"]["fig05"]
+        assert entry == {"ok": True, "wall_seconds": 1.2346, "events": 42,
+                         "events_per_sec": 34.0}
+
+    def test_failed_figure_is_recorded(self, monkeypatch):
+        monkeypatch.setattr(
+            bench, "execute_spec",
+            lambda spec: {"ok": False, "error": "boom"},
+        )
+        document = run_bench(["fig05"])
+        assert document["figures"]["fig05"] == {"ok": False, "error": "boom"}
+
+    def test_real_run_end_to_end(self):
+        document = run_bench(["fig05"], quick=True)
+        entry = document["figures"]["fig05"]
+        assert entry["ok"]
+        assert entry["events"] > 0
+        assert entry["events_per_sec"] > 0
+
+    def test_write_bench_round_trips(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            bench, "execute_spec",
+            lambda spec: {"ok": True, "wall_seconds": 1.0, "events": 10,
+                          "events_per_sec": 10.0},
+        )
+        document = run_bench(["fig05"])
+        path = write_bench(document, tmp_path / "bench.json")
+        assert json.loads(path.read_text(encoding="utf-8")) == document
+
+
+class TestCheckAgainstBaseline:
+    def test_within_tolerance_passes(self):
+        fresh = _doc(fig05=_entry(80.0))
+        base = _doc(fig05=_entry(100.0))
+        assert check_against_baseline(fresh, base, tolerance=0.30) == []
+
+    def test_regression_detected(self):
+        fresh = _doc(fig05=_entry(60.0))
+        base = _doc(fig05=_entry(100.0))
+        problems = check_against_baseline(fresh, base, tolerance=0.30)
+        assert len(problems) == 1
+        assert "fig05" in problems[0]
+        assert "regressed" in problems[0]
+
+    def test_faster_than_baseline_passes(self):
+        fresh = _doc(fig05=_entry(250.0))
+        base = _doc(fig05=_entry(100.0))
+        assert check_against_baseline(fresh, base) == []
+
+    def test_figure_missing_from_baseline_is_skipped(self):
+        fresh = _doc(fig06=_entry(1.0))
+        base = _doc(fig05=_entry(100.0))
+        assert check_against_baseline(fresh, base) == []
+
+    def test_failed_fresh_run_is_a_problem(self):
+        fresh = _doc(fig05={"ok": False, "error": "boom"})
+        base = _doc(fig05=_entry(100.0))
+        problems = check_against_baseline(fresh, base)
+        assert len(problems) == 1
+        assert "failed" in problems[0]
+
+    def test_failed_baseline_entry_is_skipped(self):
+        fresh = _doc(fig05=_entry(1.0))
+        base = _doc(fig05=_entry(0.0, ok=False))
+        assert check_against_baseline(fresh, base) == []

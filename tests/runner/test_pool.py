@@ -1,0 +1,73 @@
+"""Tests for the sweep pool: caching, isolation, and parallel dispatch."""
+
+from repro.runner.cache import ResultCache
+from repro.runner.pool import run_specs
+from repro.runner.spec import RunSpec, specs_for_figure
+
+
+class TestSequentialSweep:
+    def test_runs_and_caches(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = specs_for_figure("fig05", quick=True)
+        outcomes = run_specs(specs, workers=1, cache=cache)
+        assert [o.ok for o in outcomes] == [True]
+        assert not outcomes[0].cached
+        assert outcomes[0].result["events"] > 0
+        assert outcomes[0].result["report"].startswith("Fig. 5")
+        assert len(cache) == 1
+
+        again = run_specs(specs, workers=1, cache=cache)
+        assert again[0].cached
+        assert again[0].result == outcomes[0].result
+
+    def test_no_cache_flag_reruns_but_refreshes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = specs_for_figure("fig05", quick=True)
+        run_specs(specs, cache=cache)
+        fresh = run_specs(specs, cache=cache, use_cache=False)
+        assert not fresh[0].cached
+        assert fresh[0].ok
+
+    def test_failure_is_isolated_and_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        good = specs_for_figure("fig05", quick=True)[0]
+        bad = RunSpec(figure="fig99")  # unknown figure fails inside the worker
+        outcomes = run_specs([bad, good], cache=cache)
+        assert not outcomes[0].ok
+        assert "fig99" in outcomes[0].error
+        assert outcomes[1].ok
+        assert len(cache) == 1  # only the success was stored
+
+    def test_bad_config_override_fails_cleanly(self, tmp_path):
+        spec = RunSpec(figure="fig05", overrides={"no_such_field": 1})
+        outcomes = run_specs([spec], cache=ResultCache(tmp_path / "c"))
+        assert not outcomes[0].ok
+
+    def test_overrides_change_the_run(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        base = RunSpec(figure="fig05")
+        tweaked = RunSpec(figure="fig05", overrides={"epoch_cycles": 1000})
+        outcomes = run_specs([base, tweaked], cache=cache)
+        assert all(o.ok for o in outcomes)
+        assert outcomes[0].result["report"] != outcomes[1].result["report"]
+
+
+class TestParallelSweep:
+    def test_two_workers_produce_correct_results(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = specs_for_figure("fig07", quick=True)[:2]
+        outcomes = run_specs(specs, workers=2, cache=cache)
+        assert [o.ok for o in outcomes] == [True, True]
+        # parallel results match what a sequential in-process run reports
+        sequential = run_specs(specs, workers=1, cache=cache, use_cache=False)
+        for par, seq in zip(outcomes, sequential):
+            assert par.result["report"] == seq.result["report"]
+
+    def test_timeout_is_recorded_not_raised(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = specs_for_figure("fig07", quick=True)[:2]
+        outcomes = run_specs(specs, workers=2, timeout=0.05, cache=cache)
+        assert len(outcomes) == 2
+        assert any(not o.ok and "timeout" in o.error for o in outcomes)
+        # timed-out cells are never cached
+        assert len(cache) <= sum(1 for o in outcomes if o.ok)

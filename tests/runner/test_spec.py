@@ -1,0 +1,65 @@
+"""Tests for RunSpec hashing and grid expansion."""
+
+from repro.runner.spec import RunSpec, specs_for_figure
+
+
+class TestSpecHash:
+    def test_hash_is_stable_across_equivalent_spellings(self):
+        a = RunSpec(figure="fig07", cell={"mixes": ("stream",)})
+        b = RunSpec(figure="fig07", cell={"mixes": ["stream"]})
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_hash_changes_with_every_field(self):
+        base = RunSpec(figure="fig05", seed=0, quick=True)
+        assert base.spec_hash() != RunSpec(figure="fig06").spec_hash()
+        assert base.spec_hash() != RunSpec(figure="fig05", seed=1).spec_hash()
+        assert base.spec_hash() != RunSpec(figure="fig05", quick=False).spec_hash()
+        assert (
+            base.spec_hash()
+            != RunSpec(figure="fig05", overrides={"epoch_cycles": 500}).spec_hash()
+        )
+        assert (
+            base.spec_hash()
+            != RunSpec(figure="fig05", cell={"workloads": ("mcf",)}).spec_hash()
+        )
+
+    def test_hash_independent_of_key_order(self):
+        a = RunSpec(figure="fig07", cell={"a": 1, "b": 2})
+        b = RunSpec(figure="fig07", cell={"b": 2, "a": 1})
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_payload_roundtrip(self):
+        spec = RunSpec(
+            figure="fig07",
+            cell={"mixes": ("stream",), "mechanisms": ("pabst",)},
+            seed=3,
+            quick=False,
+            overrides={"epoch_cycles": 1000},
+        )
+        again = RunSpec.from_payload(spec.to_payload())
+        assert again.spec_hash() == spec.spec_hash()
+
+
+class TestSpecsForFigure:
+    def test_fig07_quick_grid_has_six_cells(self):
+        specs = specs_for_figure("fig07", quick=True)
+        assert len(specs) == 6
+        assert len({spec.spec_hash() for spec in specs}) == 6
+
+    def test_single_cell_figures(self):
+        for figure in ("fig05", "fig06", "fig08"):
+            specs = specs_for_figure(figure, quick=True)
+            assert len(specs) == 1
+            assert specs[0].cell == {}
+
+    def test_every_figure_expands(self):
+        from repro.cli import EXPERIMENTS
+
+        for figure in EXPERIMENTS:
+            specs = specs_for_figure(figure, quick=True)
+            assert specs, figure
+            assert all(spec.figure == figure for spec in specs)
+
+    def test_label_is_compact(self):
+        spec = specs_for_figure("fig10", quick=True)[0]
+        assert spec.label() == "fig10[libquantum]"

@@ -289,3 +289,81 @@ def test_property_events_dispatch_in_nondecreasing_time(delays):
     engine.run()
     assert seen == sorted(seen)
     assert len(seen) == len(delays)
+
+
+class TestLiveEventCounter:
+    def test_live_excludes_cancelled_pending_includes_them(self):
+        engine = Engine()
+        keep = engine.schedule(5, lambda: None)
+        drop = engine.schedule(10, lambda: None)
+        assert engine.live_events == 2
+        drop.cancel()
+        assert engine.live_events == 1
+        assert engine.pending_events == 2  # lazy deletion: still in heap
+        engine.run()
+        assert engine.live_events == 0
+        assert not keep.cancelled
+
+    def test_cancel_after_dispatch_does_not_double_count(self):
+        engine = Engine()
+        event = engine.schedule(1, lambda: None)
+        engine.run()
+        assert engine.live_events == 0
+        event.cancel()  # firing already settled the counter
+        assert engine.live_events == 0
+
+    def test_posts_count_as_live_until_dispatched(self):
+        engine = Engine()
+        engine.post(3, lambda: None)
+        engine.post_at(7, lambda: None)
+        assert engine.live_events == 2
+        engine.run_until(5)
+        assert engine.live_events == 1
+        engine.run_until(10)
+        assert engine.live_events == 0
+
+
+class TestPost:
+    """Fire-and-forget entries must order exactly like Event entries."""
+
+    def test_post_interleaves_with_schedule_by_insertion_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(5, order.append, "event-a")
+        engine.post(5, order.append, "post-b")
+        engine.schedule(5, order.append, "event-c")
+        engine.post_at(5, order.append, "post-d")
+        engine.run()
+        assert order == ["event-a", "post-b", "event-c", "post-d"]
+
+    def test_post_counts_in_dispatch_totals(self):
+        engine = Engine()
+        engine.post(1, lambda: None)
+        engine.schedule(2, lambda: None)
+        assert engine.run() == 2
+        assert engine.dispatched == 2
+
+    def test_post_rejects_negative_delay_and_past_timestamps(self):
+        engine = Engine()
+        engine.run_until(10)
+        with pytest.raises(SimulationError):
+            engine.post(-1, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.post_at(9, lambda: None)
+
+    def test_post_rejects_fractional_delay(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.post(0.5, lambda: None)  # repro: noqa[SIM001]
+
+    def test_post_survives_run_max_events_repush(self):
+        """A bare post entry hitting the max_events guard is re-queued."""
+        engine = Engine()
+        fired = []
+        engine.post(1, fired.append, "first")
+        engine.post(2, fired.append, "second")
+        with pytest.raises(SimulationError):
+            engine.run(max_events=1)
+        assert fired == ["first"]
+        engine.run()
+        assert fired == ["first", "second"]

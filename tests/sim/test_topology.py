@@ -106,3 +106,56 @@ def test_property_mapping_total_and_stable(addr):
     assert address_map.mc_of(addr) == mc
     assert 0 <= address_map.bank_of(addr) < config.banks_per_mc
     assert address_map.row_of(addr) >= 0
+
+
+class TestDenseLatencyTables:
+    """The flattened tables must agree with networkx shortest paths."""
+
+    MESHES = [
+        dict(cores=4, mesh_cols=2, mesh_rows=2, num_mcs=1),
+        dict(cores=8, mesh_cols=4, mesh_rows=2, num_mcs=2),
+        dict(cores=16, mesh_cols=4, mesh_rows=4, num_mcs=4),
+        dict(cores=32, mesh_cols=8, mesh_rows=4, num_mcs=4),
+    ]
+
+    def _reference_latency(self, mesh, config, src, dst):
+        import networkx as nx
+
+        graph = nx.grid_2d_graph(config.mesh_cols, config.mesh_rows)
+        hops = nx.shortest_path_length(graph, src, dst)
+        return config.noc_base_cycles + hops * config.noc_hop_cycles
+
+    def test_tables_match_networkx_shortest_paths(self):
+        for params in self.MESHES:
+            config = SystemConfig(**params)
+            mesh = MeshTopology(config)
+            for src in range(mesh.num_tiles):
+                for dst in range(mesh.num_tiles):
+                    expected = self._reference_latency(
+                        mesh, config, mesh.tile_coord(src), mesh.tile_coord(dst)
+                    )
+                    assert mesh.tile_to_tile_latency(src, dst) == expected
+            for tile in range(mesh.num_tiles):
+                for mc in range(config.num_mcs):
+                    expected = self._reference_latency(
+                        mesh, config, mesh.tile_coord(tile), mesh.mc_coord(mc)
+                    )
+                    assert mesh.tile_to_mc_latency(tile, mc) == expected
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_property_latency_equals_manhattan(self, cols, rows):
+        """On a full grid the shortest path is the Manhattan distance."""
+        config = SystemConfig(
+            cores=cols * rows, mesh_cols=cols, mesh_rows=rows, num_mcs=1
+        )
+        mesh = MeshTopology(config)
+        for src in range(mesh.num_tiles):
+            sx, sy = mesh.tile_coord(src)
+            for dst in range(mesh.num_tiles):
+                dx, dy = mesh.tile_coord(dst)
+                manhattan = abs(sx - dx) + abs(sy - dy)
+                expected = config.noc_base_cycles + manhattan * config.noc_hop_cycles
+                assert mesh.tile_to_tile_latency(src, dst) == expected
