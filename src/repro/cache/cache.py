@@ -38,6 +38,12 @@ class LookupResult:
         return self.victim is not None and self.victim.dirty
 
 
+# Shared victimless results: callers treat LookupResult as read-only, so
+# the two victimless outcomes need no per-access allocation.
+_HIT = LookupResult(hit=True)
+_MISS = LookupResult(hit=False)
+
+
 class SetAssociativeCache:
     """A write-back, write-allocate set-associative cache.
 
@@ -128,13 +134,21 @@ class SetAssociativeCache:
             assert line is not None
             if is_write:
                 line.dirty = True
-            self._policy.on_access(set_index, way)
+            lru = self._lru
+            if lru is not None:
+                # inlined LruPolicy.on_access
+                lru._clock += 1
+                lru._stamps[set_index][way] = lru._clock
+            else:
+                self._policy.on_access(set_index, way)
             self.hits += 1
-            return LookupResult(hit=True)
+            return _HIT
         self.misses += 1
         if not allocate:
-            return LookupResult(hit=False)
-        victim = self._fill(set_index, line_number << self._line_shift, qos_id, dirty=is_write)
+            return _MISS
+        victim = self._fill(set_index, line_number << self._line_shift, qos_id, is_write)
+        if victim is None:
+            return _MISS
         return LookupResult(hit=False, victim=victim)
 
     def fill(self, addr: int, qos_id: int, dirty: bool = False) -> CacheLine | None:

@@ -24,7 +24,7 @@ from enum import Enum
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.partition import WayPartition
 from repro.sim.config import SystemConfig
-from repro.sim.topology import AddressMap
+from repro.sim.topology import AddressMap, _mix_bits
 
 __all__ = ["CacheHierarchy", "HierarchyOutcome", "HitLevel", "WritebackInfo"]
 
@@ -68,6 +68,11 @@ class HierarchyOutcome:
         return self.level is not HitLevel.L2
 
 
+# Shared L2-hit outcome: callers never mutate outcomes and the L2-hit path
+# carries no slice or writebacks, so one instance serves every hit.
+_L2_HIT = HierarchyOutcome(level=HitLevel.L2)
+
+
 class CacheHierarchy:
     """Private per-core L2 caches plus address-hashed shared L3 slices."""
 
@@ -102,6 +107,13 @@ class CacheHierarchy:
             )
             for tile in range(config.cores)
         ]
+        # access() fast-path bindings.  Slice selection recomputes the hash
+        # directly instead of going through AddressMap.decode: streaming
+        # working sets are large enough that the decode memo rarely hits,
+        # and the slice needs only one bit-mix, not the full
+        # (slice, mc, bank, row) tuple.
+        self._num_slices = len(self.l3_slices)
+        self._line_shift = config.line_bytes.bit_length() - 1
 
     # ------------------------------------------------------------------
     # demand path
@@ -111,20 +123,23 @@ class CacheHierarchy:
         l2 = self.l2s[core_id]
         l2_result = l2.access(addr, is_write, qos_id)
         if l2_result.hit:
-            return HierarchyOutcome(level=HitLevel.L2)
+            return _L2_HIT
 
-        writebacks: list[int] = []
+        writebacks: list[WritebackInfo] = []
         l3_slices = self.l3_slices
-        slice_id = self._address_map.slice_of(addr) % len(l3_slices)
+        num_slices = self._num_slices
+        line_shift = self._line_shift
+        # slice_of() without the decode wrapper or the (useless here) full
+        # line decode — see the binding comment in __init__
+        slice_id = _mix_bits(addr >> line_shift) % num_slices
         l3 = l3_slices[slice_id]
 
         # A dirty L2 victim is written into the L3 (it may itself push a
         # dirty L3 line out to memory).
-        if l2_result.dirty_eviction:
-            victim = l2_result.victim
-            assert victim is not None
-            victim_slice = self.l3_slices[
-                self._address_map.slice_of(victim.line_addr) % len(self.l3_slices)
+        victim = l2_result.victim
+        if victim is not None and victim.dirty:
+            victim_slice = l3_slices[
+                _mix_bits(victim.line_addr >> line_shift) % num_slices
             ]
             l3_victim = victim_slice.fill(victim.line_addr, victim.qos_id, dirty=True)
             if l3_victim is not None and l3_victim.dirty:

@@ -7,6 +7,8 @@ Usage::
     python -m repro run-all [--quick]
     python -m repro sweep fig07 [--quick] [--workers N] [--no-cache]
     python -m repro bench [figs ...] [--quick] [--check BASELINE]
+                          [--repeat N] [--update]
+    python -m repro profile fig05 [--quick] [--top N] [--output PATH]
     python -m repro info
     python -m repro lint [paths ...]
 
@@ -145,6 +147,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
     from repro.runner.bench import (
+        BASELINE_PATH,
         check_against_baseline,
         default_bench_path,
         run_bench,
@@ -158,7 +161,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"unknown experiment(s) {unknown}; known: {known}",
               file=sys.stderr)
         return 2
-    document = run_bench(figures, quick=args.quick, seed=args.seed)
+    document = run_bench(
+        figures, quick=args.quick, seed=args.seed, repeat=args.repeat
+    )
     for figure, entry in document["figures"].items():
         if entry.get("ok"):
             print(f"{figure:<8} {entry['wall_seconds']:>8.2f}s  "
@@ -179,9 +184,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"[within {args.tolerance:.0%} of {args.check}]")
 
-    output = args.output if args.output is not None else default_bench_path()
+    if args.update:
+        output = BASELINE_PATH
+    elif args.output is not None:
+        output = args.output
+    else:
+        output = default_bench_path()
     path = write_bench(document, output)
     print(f"[wrote {path}]")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runner.bench import run_profile, write_bench
+
+    if args.experiment not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        print(f"unknown experiment {args.experiment!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    report = run_profile(
+        args.experiment, quick=args.quick, seed=args.seed, top=args.top
+    )
+    if not report["ok"]:
+        print(f"{args.experiment} FAILED: {report.get('error')}", file=sys.stderr)
+        return 1
+    print(f"{args.experiment:<8} {report['wall_seconds']:>8.2f}s (profiled)  "
+          f"{report['events']:>12,} events  "
+          f"{report['events_per_sec']:>12,.0f} events/s")
+    for spot in report["hotspots"][:10]:
+        location = f"{spot['file']}:{spot['line']}"
+        print(f"  {spot['tottime']:>8.3f}s  {spot['function']:<28} {location}")
+    if args.output is not None:
+        path = write_bench(report, args.output)
+        print(f"[wrote {path}]")
+    else:
+        print(json.dumps(report, indent=2, sort_keys=True))
     return 0
 
 
@@ -271,7 +311,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="baseline JSON to compare events/sec against")
     bench.add_argument("--tolerance", type=float, default=0.30,
                        help="allowed events/sec drop vs baseline (default 0.30)")
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="runs per figure; median wall time is reported "
+                            "(default 3)")
+    bench.add_argument("--update", action="store_true",
+                       help="rewrite BENCH_baseline.json in place")
     bench.set_defaults(func=_cmd_bench)
+
+    profile = sub.add_parser(
+        "profile", help="run one figure under cProfile, emit a JSON hotspot report"
+    )
+    profile.add_argument("experiment", help="experiment name, e.g. fig05")
+    profile.add_argument("--quick", action="store_true",
+                         help="reduced scale (seconds instead of minutes)")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--top", type=int, default=25,
+                         help="hotspots to keep, ranked by tottime (default 25)")
+    profile.add_argument("--output", default=None,
+                         help="write the JSON report here (default: stdout)")
+    profile.set_defaults(func=_cmd_profile)
 
     lint = sub.add_parser("lint", help="run the determinism linter")
     lint.add_argument("paths", nargs="*",

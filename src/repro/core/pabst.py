@@ -129,14 +129,26 @@ class PabstMechanism(QoSMechanism):
     def request_release(
         self, core_id: int, req: MemoryRequest, release: Callable[[], None]
     ) -> None:
-        pacer = self._pacer_for(core_id, req.addr)
+        # inlined _pacer_for: this runs once per L2 miss
+        if self.mc_pacers:
+            pacer = self.mc_pacers.get(
+                (core_id, self._address_map.mc_of(req.addr))
+            )
+        else:
+            pacer = self.pacers.get(core_id)
         if pacer is None:
             release()
         else:
             pacer.request(req, release)
 
     def on_response(self, core_id: int, req: MemoryRequest) -> None:
-        pacer = self._pacer_for(core_id, req.addr)
+        # inlined _pacer_for (once per L2-miss response)
+        if self.mc_pacers:
+            pacer = self.mc_pacers.get(
+                (core_id, self._address_map.mc_of(req.addr))
+            )
+        else:
+            pacer = self.pacers.get(core_id)
         if pacer is None:
             return
         if req.l3_hit:

@@ -96,8 +96,14 @@ class Pacer:
     def request(self, req: MemoryRequest, release: Callable[[], None]) -> None:
         """Ask to issue ``req``; ``release`` fires when the pacer allows it."""
         self._demand_since_epoch += 1
-        if not self._blocked and self._allowed_now():
-            self._charge()
+        # inlined _allowed_now() + _charge(): this runs once per L2 miss
+        # across every core, where the three helper frames are measurable
+        now_scaled = self._engine._now * self._den
+        if not self._blocked and self._cnext_scaled <= now_scaled:
+            floor = now_scaled - self._burst * self._period_num
+            if self._cnext_scaled < floor:
+                self._cnext_scaled = floor
+            self._cnext_scaled += self._period_num
             self.released += 1
             release()
             return
@@ -156,12 +162,26 @@ class Pacer:
         self._release_now()
 
     def _release_now(self) -> None:
-        while self._blocked and self._allowed_now():
-            _, release = self._blocked.popleft()
-            self._charge()
+        # inlined _allowed_now()/_charge(): the drain loop runs once per
+        # throttled request, where the helper frames are measurable.  The
+        # clamped C_next is written back before each release() so any
+        # re-entrant charge/uncharge sees consistent state, and re-read
+        # after for the same reason.
+        blocked = self._blocked
+        den = self._den
+        period = self._period_num
+        burst_span = self._burst * period
+        now_scaled = self._engine._now * den
+        while blocked and self._cnext_scaled <= now_scaled:
+            _, release = blocked.popleft()
+            cnext = self._cnext_scaled
+            floor = now_scaled - burst_span
+            if cnext < floor:
+                cnext = floor
+            self._cnext_scaled = cnext + period
             self.released += 1
             release()
-        if self._blocked:
+        if blocked:
             self._release_token += 1
             self._engine.post_at(
                 self._release_time(), self._release_head, self._release_token

@@ -36,6 +36,12 @@ PERF001   ``networkx`` may only be imported by ``sim/topology.py``.
           graph algorithms; a new networkx import elsewhere in the
           package almost always means shortest-path work crept back
           into simulation code.
+PERF002   ``heapq`` may only be imported by ``sim/engine.py``.  The
+          timing-wheel scheduler keeps a heap solely for beyond-horizon
+          overflow entries; a separate priority queue anywhere else in
+          the package either duplicates event ordering outside the
+          engine's ``(when, seq)`` guarantee or reintroduces per-event
+          heap traffic the wheel exists to avoid.
 ========  ==============================================================
 
 Usage::
@@ -455,6 +461,43 @@ class NetworkxOnlyInTopology(Rule):
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         module = node.module or ""
         if module == "networkx" or module.startswith("networkx."):
+            self._flag(node)
+        self.generic_visit(node)
+
+
+@register
+class HeapqOnlyInEngine(Rule):
+    code = "PERF002"
+    summary = "heapq imports are confined to sim/engine.py"
+
+    #: The one module allowed to import heapq: the engine keeps a heap
+    #: only for timing-wheel overflow entries beyond the horizon.
+    _ALLOWED = ("sim", "engine.py")
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        parts = ctx.repro_parts
+        return parts is not None and parts != cls._ALLOWED
+
+    def _flag(self, node: ast.AST) -> None:
+        self.report(
+            node,
+            "heapq import outside sim/engine.py; event ordering belongs "
+            "to the engine's timing wheel (schedule/post/post_chain_at), "
+            "and a separate priority queue in simulation code sidesteps "
+            "the (when, seq) dispatch-order guarantee or reintroduces "
+            "the per-event heap traffic the wheel removes",
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "heapq" or alias.name.startswith("heapq."):
+                self._flag(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if module == "heapq" or module.startswith("heapq."):
             self._flag(node)
         self.generic_visit(node)
 

@@ -31,14 +31,14 @@ the PABST saturation monitor samples at each epoch boundary.
 
 from __future__ import annotations
 
-import heapq
+from bisect import bisect_right, insort
 from typing import TYPE_CHECKING, Callable
 
 from repro.dram.bank import Bank
 from repro.dram.channel import DataBus
 from repro.dram.schedulers import FrFcfsPolicy, SchedulingPolicy
 from repro.dram.timing import PagePolicy
-from repro.sim.engine import Engine
+from repro.sim.engine import _WHEEL_MASK, Engine
 from repro.sim.records import MemoryRequest
 
 if TYPE_CHECKING:  # pragma: no cover - break the sim<->dram import cycle
@@ -47,6 +47,10 @@ if TYPE_CHECKING:  # pragma: no cover - break the sim<->dram import cycle
     from repro.sim.topology import AddressMap
 
 __all__ = ["MemoryController"]
+
+#: "No wakeup needed" sentinel for the min-scan in ``_schedule_wakeup``
+#: (compares greater than any reachable cycle count).
+_FAR = 1 << 62
 
 
 class MemoryController:
@@ -91,11 +95,28 @@ class MemoryController:
         # and the wakeup computation touch it for every queued request on
         # every pass, where a list index beats an attribute load
         self._bank_busy = [0] * config.banks_per_mc
+        # Ascending multiset of outstanding bank busy-until times, fed by
+        # _issue and consumed by _schedule_wakeup.  A bank cannot be
+        # re-issued before its previous busy window expires, so any entry
+        # superseded by a newer issue to the same bank is already <= now
+        # by the time a wakeup looks — pruning the expired prefix leaves
+        # exactly the live busy times, and the head is the next bank-free
+        # cycle without scanning every bank per pass.
+        self._busy_times: list[int] = []
         self.read_queue: list[MemoryRequest] = []
         self.write_queue: list[MemoryRequest] = []
         self.on_read_complete: Callable[[MemoryRequest], None] | None = None
         self._space_listeners: list[Callable[[int], None]] = []
         self._draining_writes = False
+
+        # hop fusion (configured by System once the cores exist): reads
+        # whose return path has no arbitration point are issued as one
+        # fused chain (bank completion + core response) instead of two
+        # separately scheduled events — see configure_read_fusion().
+        # Keyed by core_id; a miss (absent core, foreign injector id,
+        # zero return delay) falls back to the unfused path.
+        self._fused: dict[int, tuple] | None = None
+        self._respond_fn: Callable | None = None
 
         # scheduling-pass coalescing: _pass_at is the armed pass time, and
         # _pass_token identifies the newest armed pass event — superseded
@@ -142,12 +163,18 @@ class MemoryController:
                 self._stats.requests_rejected += 1
                 return False
             target = self.read_queue
-            self._update_occupancy()
+            # inlined _update_occupancy() (before the append below)
+            self._occ_integral += len(target) * (now - self._occ_last_update)
+            self._occ_last_update = now
             self.reads_accepted += 1
 
         req.arrived_mc_at = now
         req.mc_id = self.mc_id
-        _, _, req.bank_id, req.row_id = self._map.decode(req.addr)
+        if req.bank_id < 0:
+            # injected requests arrive pre-decoded (the system stamps the
+            # route when the request enters the NoC); only raw requests
+            # from tests or direct callers pay the decode here
+            _, _, req.bank_id, req.row_id = self._map.decode(req.addr)
         target.append(req)
         self._stats.requests_enqueued += 1
         self.policy.on_accept(req, now)
@@ -207,12 +234,16 @@ class MemoryController:
         token = self._pass_token + 1
         self._pass_token = token
         # inlined engine.post_at (the arm rate makes even the call overhead
-        # measurable); `when` is always an int >= engine._now here
+        # measurable); `when` is always an int >= engine._now here, and pass
+        # times are near-future, so the wheel-window fast path all but
+        # always takes — post_at handles the overflow remainder
         engine = self._engine
-        seq = engine._seq
-        engine._seq = seq + 1
-        engine._live += 1
-        heapq.heappush(engine._queue, (when, seq, self._run_pass, (token,)))
+        if when < engine._horizon:
+            engine._wheel[when & _WHEEL_MASK].append((self._run_pass, (token,)))
+            engine._wheel_count += 1
+            engine._live += 1
+        else:
+            engine.post_at(when, self._run_pass, token)
 
     def _run_pass(self, token: int) -> None:
         if token != self._pass_token:
@@ -225,6 +256,10 @@ class MemoryController:
                 self._draining_writes = False
         elif len(self.write_queue) >= self._wm_high:
             self._draining_writes = True
+        if not (self.read_queue or self.write_queue):
+            # nothing queued: _issue_ready and _schedule_wakeup would both
+            # no-op — skip their call frames on this common drained pass
+            return
         issued_reads = self._issue_ready(now)
         if issued_reads:
             self._notify_space()
@@ -314,19 +349,36 @@ class MemoryController:
 
     def _issue(self, req: MemoryRequest, now: int) -> None:
         bank = self.banks[req.bank_id]
-        prep = bank.prep_cycles(req.row_id)
-        data_start, data_end = self.bus.reserve(now + prep)
+        # closed page pays the uniform prep; open page probes the bank row
+        prep = self._uniform_prep
+        if prep is None:
+            prep = bank.prep_cycles(req.row_id)
+        # inlined DataBus.reserve()
+        bus = self.bus
+        data_start = now + prep
+        if data_start < bus.free_at:
+            data_start = bus.free_at
+        burst = bus._burst
+        data_end = data_start + burst
+        bus.free_at = data_end
+        bus.busy_cycles += burst
+        bus.transfers += 1
         bank.issue(now, req.row_id, data_end)
         self._bank_busy[req.bank_id] = bank.busy_until
+        insort(self._busy_times, bank.busy_until)
         req.dispatched_at = now
         req.issued_at = now
         if self._engine.sanitizer is not None:
             self._engine.sanitizer.on_issue(req)
-        self._stats.bus_busy_cycles += self.bus.burst_cycles
+        self._stats.bus_busy_cycles += burst
         if req.is_memory_write:
             queue = self.write_queue
         else:
-            self._update_occupancy()
+            # inlined _update_occupancy() (before the removal below)
+            self._occ_integral += len(self.read_queue) * (
+                now - self._occ_last_update
+            )
+            self._occ_last_update = now
             queue = self.read_queue
         # identity-based removal: list.remove() would re-scan with the
         # dataclass __eq__, comparing every field of every queued request
@@ -334,14 +386,58 @@ class MemoryController:
             if queued is req:
                 del queue[index]
                 break
-        # inlined engine.post_at; data_end is an int > now by construction
         engine = self._engine
-        seq = engine._seq
-        engine._seq = seq + 1
-        engine._live += 1
-        heapq.heappush(engine._queue, (data_end, seq, self._complete, (req,)))
+        if req.is_read and self._fused is not None:
+            fused = self._fused.get(req.core_id)
+            if fused is not None:
+                # fused chain: bank completion at data_end, core response
+                # NoC-return-delay cycles later, one scheduler insertion
+                core, return_delay = fused
+                engine.post_chain_at(
+                    data_end,
+                    self._complete_fused,
+                    (req,),
+                    return_delay,
+                    self._respond_fn,
+                    (core, req),
+                )
+                return
+        # inlined engine.post_at; data_end is an int > now by construction
+        # and within the wheel window (bus backlog is queue-bounded)
+        if data_end < engine._horizon:
+            engine._wheel[data_end & _WHEEL_MASK].append((self._complete, (req,)))
+            engine._wheel_count += 1
+            engine._live += 1
+        else:
+            engine.post_at(data_end, self._complete, (req,))
 
-    def _complete(self, req: MemoryRequest) -> None:
+    def configure_read_fusion(
+        self,
+        return_delays: list[int],
+        cores: list,
+        respond: Callable,
+    ) -> None:
+        """Fuse bank-service -> NoC return -> core response into one chain.
+
+        ``return_delays[c]`` is the fixed tile-to-MC NoC latency for core
+        ``c`` and ``cores[c]`` the core object (None for absent cores —
+        those reads fall back to the generic ``on_read_complete`` path).
+        Cores with a zero return delay also stay unfused: a chain
+        continuation must land strictly after the completion bucket.
+
+        Fused and unfused paths write identical ``MemoryRequest`` stage
+        timestamps and dispatch in identical order; fusion only halves
+        the scheduling cost of the two-hop return.
+        """
+        self._fused = {
+            core_id: (core, delay)
+            for core_id, (core, delay) in enumerate(zip(cores, return_delays))
+            if core is not None and delay >= 1
+        }
+        self._respond_fn = respond
+
+    def _retire(self, req: MemoryRequest) -> None:
+        """Completion bookkeeping shared by the fused and unfused paths."""
         now = self._engine._now
         req.completed_at = now
         if self._engine.sanitizer is not None:
@@ -353,34 +449,53 @@ class MemoryController:
             delta = now - self._active_since
             self.active_cycles += delta
             self._stats.mc_active_cycles += delta
+
+    def _complete(self, req: MemoryRequest) -> None:
+        self._retire(req)
         if req.is_read and self.on_read_complete is not None:
             self.on_read_complete(req)
-        self._request_pass(now)
+        self._request_pass(self._engine._now)
+
+    def _complete_fused(self, req: MemoryRequest) -> None:
+        # First hop of a fused read chain: identical to _complete except
+        # that the engine schedules the core response itself (the chain
+        # continuation replaces the on_read_complete -> post round trip).
+        self._retire(req)
+        self._request_pass(self._engine._now)
 
     def _schedule_wakeup(self, now: int) -> None:
         """Re-arm the pass at the next bank-free or bus-gate-open time."""
         if not (self.read_queue or self.write_queue):
             return
-        wake = -1
-        for busy_until in self._bank_busy:
-            if busy_until > now and (wake < 0 or busy_until < wake):
-                wake = busy_until
+        # next bank-free time: prune the expired prefix of the sorted
+        # busy-time list and read its head (see the __init__ comment for
+        # why stale superseded entries are always in the pruned prefix)
+        times = self._busy_times
+        if times:
+            cut = bisect_right(times, now)
+            if cut:
+                del times[:cut]
+        wake = times[0] if times else _FAR
         bus_gate = self.bus.free_at - self._min_prep
-        if bus_gate > now and (wake < 0 or bus_gate < wake):
+        if now < bus_gate < wake:
             wake = bus_gate
-        if wake >= 0:
+        if wake != _FAR:
             # inlined _request_pass: _run_pass cleared _pass_at, so the
             # coalescing early-out can never take — arm unconditionally
-            # (heap push inlined as in _request_pass; when > engine._now)
-            when = wake if wake > now else now + 1
+            # (wheel insert inlined as in _request_pass; wake > now here)
+            when = wake
             self._pass_at = when
             token = self._pass_token + 1
             self._pass_token = token
             engine = self._engine
-            seq = engine._seq
-            engine._seq = seq + 1
-            engine._live += 1
-            heapq.heappush(engine._queue, (when, seq, self._run_pass, (token,)))
+            if when < engine._horizon:
+                engine._wheel[when & _WHEEL_MASK].append(
+                    (self._run_pass, (token,))
+                )
+                engine._wheel_count += 1
+                engine._live += 1
+            else:
+                engine.post_at(when, self._run_pass, token)
 
     def _notify_space(self) -> None:
         for listener in self._space_listeners:

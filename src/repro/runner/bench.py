@@ -1,17 +1,27 @@
-"""Wall-clock and events/sec benchmarking of the experiment figures.
+"""Wall-clock, events/sec, and profiling of the experiment figures.
 
 ``repro bench`` times each figure's full ``run()`` in-process (single
 process, no cache — the point is to measure the simulator, not the
-runner) and writes a ``BENCH_<timestamp>.json``.  With ``--check`` it
-instead compares fresh numbers against a committed baseline and fails
-when events/sec regresses beyond the tolerance; CI runs this as its
-perf smoke test against ``BENCH_baseline.json``.
+runner) and writes a ``BENCH_<timestamp>.json``.  Each figure runs
+``repeat`` times (default 3) and the **median** wall time is reported,
+so one noisy run cannot flake the CI perf-smoke job.  With ``--check``
+fresh numbers are compared against a committed baseline and the command
+fails when events/sec regresses beyond the tolerance; ``--update``
+rewrites ``BENCH_baseline.json`` in place.  The document records the
+Python version, platform string, and git revision so baselines from
+different machines are never compared blindly.
+
+``repro profile`` runs one figure under :mod:`cProfile` and emits a JSON
+hotspot report (top functions by total time), so perf PRs are measured
+rather than guessed.
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import statistics
+import subprocess
 import time
 from pathlib import Path
 from typing import Any, Iterable, Mapping
@@ -20,37 +30,125 @@ from repro.runner.spec import RunSpec
 from repro.runner.worker import execute_spec
 
 __all__ = [
+    "BASELINE_PATH",
     "check_against_baseline",
     "default_bench_path",
+    "git_revision",
     "run_bench",
+    "run_profile",
     "write_bench",
 ]
 
+#: The committed baseline the CI perf-smoke job checks against.
+BASELINE_PATH = Path("BENCH_baseline.json")
+
+
+def git_revision() -> str | None:
+    """Current git commit hash, or None outside a repo / without git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
 
 def run_bench(
-    figures: Iterable[str], quick: bool = True, seed: int = 0
+    figures: Iterable[str], quick: bool = True, seed: int = 0, repeat: int = 3
 ) -> dict[str, Any]:
-    """Time each figure once; returns the bench document (JSON-ready)."""
+    """Time each figure ``repeat`` times; returns the bench document.
+
+    The reported wall time is the median across repeats (events/sec is
+    derived from it); the event count is deterministic, so any repeat's
+    count is the count.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
     results: dict[str, Any] = {}
     for figure in figures:
-        outcome = execute_spec(RunSpec(figure=figure, quick=quick, seed=seed))
-        if not outcome.get("ok"):
-            results[figure] = {"ok": False, "error": outcome.get("error")}
-            continue
-        results[figure] = {
-            "ok": True,
-            "wall_seconds": round(outcome["wall_seconds"], 4),
-            "events": outcome["events"],
-            "events_per_sec": round(outcome["events_per_sec"], 1),
-        }
+        walls: list[float] = []
+        entry: dict[str, Any] | None = None
+        for _ in range(repeat):
+            outcome = execute_spec(RunSpec(figure=figure, quick=quick, seed=seed))
+            if not outcome.get("ok"):
+                entry = {"ok": False, "error": outcome.get("error")}
+                break
+            walls.append(outcome["wall_seconds"])
+            entry = {"ok": True, "events": outcome["events"]}
+        if entry.get("ok"):
+            wall = statistics.median(walls)
+            entry["wall_seconds"] = round(wall, 4)
+            entry["events_per_sec"] = round(entry["events"] / wall, 1) if wall > 0 else 0.0
+            entry["repeats"] = len(walls)
+        results[figure] = entry
     return {
-        "schema": 1,
+        "schema": 2,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "quick": quick,
         "seed": seed,
+        "repeat": repeat,
         "python": platform.python_version(),
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "git_revision": git_revision(),
         "figures": results,
     }
+
+
+def run_profile(
+    figure: str, quick: bool = True, seed: int = 0, top: int = 25
+) -> dict[str, Any]:
+    """Run one figure under cProfile; returns a JSON-ready hotspot report.
+
+    Hotspots are ranked by ``tottime`` (time in the function itself,
+    excluding callees) — the number that tells a perf PR where the
+    cycles actually go.
+    """
+    import cProfile
+
+    profiler = cProfile.Profile()
+    outcome = profiler.runcall(
+        execute_spec, RunSpec(figure=figure, quick=quick, seed=seed)
+    )
+    profiler.create_stats()
+    hotspots = []
+    for (filename, line, name), (cc, nc, tt, ct, _callers) in profiler.stats.items():
+        hotspots.append(
+            {
+                "file": filename,
+                "line": line,
+                "function": name,
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime": round(tt, 6),
+                "cumtime": round(ct, 6),
+            }
+        )
+    hotspots.sort(key=lambda h: h["tottime"], reverse=True)
+    report: dict[str, Any] = {
+        "schema": 1,
+        "figure": figure,
+        "quick": quick,
+        "seed": seed,
+        "ok": bool(outcome.get("ok")),
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "git_revision": git_revision(),
+        "hotspots": hotspots[:top],
+    }
+    if outcome.get("ok"):
+        report["wall_seconds"] = round(outcome["wall_seconds"], 4)
+        report["events"] = outcome["events"]
+        report["events_per_sec"] = round(outcome["events_per_sec"], 1)
+    else:
+        report["error"] = outcome.get("error")
+    return report
 
 
 def default_bench_path() -> Path:

@@ -1,27 +1,58 @@
 """Discrete-event simulation kernel.
 
 The engine advances an integer cycle counter and dispatches callbacks in
-timestamp order.  Ties are broken by insertion order (a monotonically
-increasing sequence number), which makes every run bit-deterministic for a
-given configuration and seed.
+timestamp order.  Ties are broken by insertion order, which makes every
+run bit-deterministic for a given configuration and seed.
 
 All hardware components in this reproduction (cores, caches, memory
 controllers, PABST governors) are plain Python objects that schedule callbacks
 on a shared :class:`Engine`.
 
-The heap holds plain ``(when, seq, event)`` tuples rather than rich event
-objects: ``seq`` is unique, so tuple comparison never falls through to the
-event itself, and the per-push/per-pop cost is a C-level int compare instead
-of a generated dataclass ``__lt__``.  Cancellation stays lazy (the standard
-heapq idiom) but the engine maintains a live-event counter so introspection
-reflects real work, not heap garbage.
+Scheduling core: a bucketed timing wheel
+----------------------------------------
 
-Fire-and-forget callbacks (the vast majority of simulator traffic) can skip
-the :class:`Event` wrapper entirely via :meth:`Engine.post` /
-:meth:`Engine.post_at`, which push a bare ``(when, seq, callback, args)``
-tuple.  The dispatch loop tells the two entry shapes apart by length; the
-ordering key ``(when, seq)`` is identical either way, so mixing the two
-forms cannot reorder anything.
+Events live in a :class:`TimingWheel`: a fixed-width window of per-cycle
+FIFO buckets (``_WHEEL_SIZE`` cycles wide) plus a small overflow heap for
+events beyond the window (epoch ticks, far-future pacer releases).  An
+insert inside the window is one ``list.append`` — no heap compares — and
+the dispatch loop walks buckets in time order, so the per-event cost is
+O(1) instead of the binary heap's O(log n) tuple compares.
+
+Ordering is exactly the old heap's ``(when, seq)`` order:
+
+* within a bucket, FIFO append order *is* insertion order;
+* the window's start only moves forward, so every overflow insert for a
+  cycle ``T`` happens strictly before the window reaches ``T`` and hence
+  strictly before any direct bucket insert for ``T``.  Refilling pops the
+  overflow heap in ``(when, seq)`` order and appends, which interleaves
+  the two populations exactly as the global sequence numbers would.
+
+Cancellation stays lazy (dead :class:`Event` objects are skipped at
+dispatch) and the engine maintains a live-event counter so introspection
+reflects real work, not queue garbage.
+
+Entry shapes
+------------
+
+Buckets hold three entry shapes, told apart by container type alone (one
+pointer compare on the dominant dispatch path):
+
+* a ``(callback, args)`` tuple — a fire-and-forget
+  :meth:`TimingWheel.post` / :meth:`TimingWheel.post_at` entry (the vast
+  majority of traffic);
+* a ``[callback, args, link_delay, link_callback, link_args]`` list — a
+  fused two-hop chain from :meth:`TimingWheel.post_chain_at`: after the
+  first hop's callback returns, the engine inserts the continuation
+  ``link_delay`` cycles later itself.  The continuation lands exactly
+  where a ``post`` issued at the end of the first callback would, so a
+  fused chain is indistinguishable, event order included, from two
+  separately scheduled hops — but costs one insertion instead of two;
+* an :class:`Event` — a cancellable :meth:`TimingWheel.schedule` /
+  :meth:`TimingWheel.schedule_at` entry.
+
+The overflow heap stores ``(when, seq, entry)`` tuples; ``seq`` is unique
+among overflow entries, so heap comparison never falls through to the
+entry itself.
 """
 
 from __future__ import annotations
@@ -35,7 +66,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.sanitizer import SimSanitizer
 
-__all__ = ["Engine", "Event", "SimulationError", "dispatched_total"]
+__all__ = ["Engine", "Event", "SimulationError", "TimingWheel", "dispatched_total"]
 
 
 class SimulationError(RuntimeError):
@@ -51,12 +82,25 @@ def dispatched_total() -> int:
     return _dispatched_total
 
 
+#: Wheel window width in cycles.  Must be a power of two.  4096 covers
+#: every fixed hardware latency in the model (NoC routes, bank timings,
+#: typical pacer periods); only epoch ticks and heavily throttled pacer
+#: releases overflow.
+_WHEEL_BITS = 12
+_WHEEL_SIZE = 1 << _WHEEL_BITS
+_WHEEL_MASK = _WHEEL_SIZE - 1
+
+#: Sentinel for "no overflow refill pending" (compares greater than any
+#: reachable cycle count).
+_NEVER = 1 << 63
+
+
 class Event:
     """A scheduled callback.
 
     ``cancel()`` marks the event dead; the engine silently discards dead
-    events when they reach the head of the queue (lazy deletion) and keeps
-    its live-event counter in sync.
+    events when their bucket is dispatched (lazy deletion) and keeps its
+    live-event counter in sync.
     """
 
     __slots__ = ("when", "seq", "callback", "args", "cancelled", "fired", "_engine")
@@ -67,7 +111,7 @@ class Event:
         seq: int,
         callback: Callable[..., None],
         args: tuple,
-        engine: "Engine",
+        engine: "TimingWheel",
     ) -> None:
         self.when = when
         self.seq = seq
@@ -88,28 +132,33 @@ class Event:
             self._engine._live -= 1
 
 
-class Engine:
-    """Event-driven simulator core with integer cycle time.
+class TimingWheel:
+    """Bucketed timing-wheel scheduler behind the classic engine API.
 
-    Parameters
-    ----------
-    seed:
-        Master seed.  Component RNGs are derived from it via
-        :meth:`rng` so that adding a new consumer does not perturb the
-        streams of existing ones.
+    State invariants (held whenever no dispatch loop is mid-bucket):
+
+    * every wheel entry's timestamp lies in ``[_wheel_pos, _horizon)``
+      with ``_horizon == _wheel_pos + _WHEEL_SIZE``, so distinct
+      timestamps in the window map to distinct buckets and every bucket
+      is single-timestamp;
+    * ``_wheel_pos`` (and hence ``_horizon``) is non-decreasing — the
+      property the FIFO-vs-overflow ordering proof rests on;
+    * ``_wheel_count + len(_overflow)`` equals the queued entry count
+      (cancelled events included until their bucket is dispatched).
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self) -> None:
         # Hot-path components (controller, pacer) read _now directly to
         # skip the property descriptor; treat it as read-only outside Engine.
         self._now = 0
         self._seq = 0
-        self._queue: list[tuple[int, int, Event]] = []
+        self._wheel: list[list] = [[] for _ in range(_WHEEL_SIZE)]
+        self._wheel_pos = 0
+        self._horizon = _WHEEL_SIZE
+        self._wheel_count = 0
+        self._overflow: list[tuple] = []
         self._live = 0
         self.dispatched = 0
-        self._seed = seed
-        self._rng_children: dict[str, np.random.Generator] = {}
-        self._epoch_listeners: list[Callable[[int], None]] = []
         #: Opt-in runtime invariant checker (see ``repro.sim.sanitizer``).
         self.sanitizer: "SimSanitizer | None" = None
 
@@ -124,14 +173,14 @@ class Engine:
     @property
     def pending_events(self) -> int:
         """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        return self._wheel_count + len(self._overflow)
 
     @property
     def live_events(self) -> int:
         """Number of queued events that will actually fire.
 
         Unlike :attr:`pending_events` this excludes lazily deleted
-        (cancelled) entries still sitting in the heap.
+        (cancelled) entries still sitting in their buckets.
         """
         return self._live
 
@@ -155,23 +204,54 @@ class Engine:
             "ints (use // instead of /)"
         )
 
-    def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``callback(*args)`` to run ``delay`` cycles from now.
-
-        Deliberately self-contained rather than delegating to
-        :meth:`schedule_at`: this is the single hottest call in the
-        simulator and the extra frame shows up in every profile.
-        """
-        if type(delay) is not int:
-            delay = self._as_cycles(delay, "delay")
+    # The four scheduling entry points share one inline guard —
+    # ``type(x) is not int or x out-of-range`` — that falls through to
+    # these slow-path validators.  The hot path (int, in range) pays no
+    # extra call frame; the cold path (floats, numpy ints, negatives)
+    # pays one frame and centralizes the coercion + error text.
+    def _coerce_delay(self, delay: Any) -> int:
+        delay = self._as_cycles(delay, "delay")
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return delay
+
+    def _coerce_when(self, when: Any) -> int:
+        when = self._as_cycles(when, "when")
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at cycle {when}, current time is {self._now}"
+            )
+        return when
+
+    def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
+        if type(delay) is not int or delay < 0:
+            delay = self._coerce_delay(delay)
         when = self._now + delay
         seq = self._seq
         self._seq = seq + 1
         event = Event(when, seq, callback, args, self)
         self._live += 1
-        heapq.heappush(self._queue, (when, seq, event))
+        if when < self._horizon:
+            self._wheel[when & _WHEEL_MASK].append(event)
+            self._wheel_count += 1
+        else:
+            heapq.heappush(self._overflow, (when, seq, event))
+        return event
+
+    def schedule_at(self, when: int, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute cycle ``when``."""
+        if type(when) is not int or when < self._now:
+            when = self._coerce_when(when)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(when, seq, callback, args, self)
+        self._live += 1
+        if when < self._horizon:
+            self._wheel[when & _WHEEL_MASK].append(event)
+            self._wheel_count += 1
+        else:
+            heapq.heappush(self._overflow, (when, seq, event))
         return event
 
     def post(self, delay: int, callback: Callable[..., None], *args: Any) -> None:
@@ -182,42 +262,86 @@ class Engine:
         cancelled.  Use for the simulator's bulk traffic (deliveries,
         completions, responses) where nothing ever cancels.
         """
-        if type(delay) is not int:
-            delay = self._as_cycles(delay, "delay")
-        if delay < 0:
-            raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        seq = self._seq
-        self._seq = seq + 1
+        if type(delay) is not int or delay < 0:
+            delay = self._coerce_delay(delay)
+        when = self._now + delay
         self._live += 1
-        heapq.heappush(self._queue, (self._now + delay, seq, callback, args))
+        if when < self._horizon:
+            self._wheel[when & _WHEEL_MASK].append((callback, args))
+            self._wheel_count += 1
+        else:
+            seq = self._seq
+            self._seq = seq + 1
+            heapq.heappush(self._overflow, (when, seq, (callback, args)))
 
     def post_at(self, when: int, callback: Callable[..., None], *args: Any) -> None:
         """Fire-and-forget variant of :meth:`schedule_at` (no Event handle)."""
-        if type(when) is not int:
-            when = self._as_cycles(when, "when")
-        if when < self._now:
-            raise SimulationError(
-                f"cannot schedule at cycle {when}, current time is {self._now}"
-            )
-        seq = self._seq
-        self._seq = seq + 1
+        if type(when) is not int or when < self._now:
+            when = self._coerce_when(when)
         self._live += 1
-        heapq.heappush(self._queue, (when, seq, callback, args))
+        if when < self._horizon:
+            self._wheel[when & _WHEEL_MASK].append((callback, args))
+            self._wheel_count += 1
+        else:
+            seq = self._seq
+            self._seq = seq + 1
+            heapq.heappush(self._overflow, (when, seq, (callback, args)))
 
-    def schedule_at(self, when: int, callback: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``callback(*args)`` at absolute cycle ``when``."""
-        if type(when) is not int:
-            when = self._as_cycles(when, "when")
-        if when < self._now:
+    def post_chain_at(
+        self,
+        when: int,
+        callback: Callable[..., None],
+        args: tuple,
+        link_delay: int,
+        link_callback: Callable[..., None],
+        link_args: tuple,
+    ) -> None:
+        """Schedule a fused two-hop chain with one insertion.
+
+        ``callback(*args)`` runs at ``when``; immediately after it
+        returns, the engine inserts ``link_callback(*link_args)``
+        ``link_delay`` cycles later.  The continuation lands exactly
+        where a ``post(link_delay, ...)`` issued as the first callback's
+        final statement would, so fusing a deterministic-latency hop
+        chain is bit-identical to scheduling the hops separately.
+
+        ``link_delay`` must be >= 1: a zero-delay continuation would
+        land in the bucket currently being dispatched, where "end of the
+        first callback" and "end of the bucket" differ.
+        """
+        if type(when) is not int or when < self._now:
+            when = self._coerce_when(when)
+        if type(link_delay) is not int or link_delay < 1:
             raise SimulationError(
-                f"cannot schedule at cycle {when}, current time is {self._now}"
+                f"chain link_delay must be a positive int (got {link_delay!r})"
             )
-        seq = self._seq
-        self._seq = seq + 1
-        event = Event(when, seq, callback, args, self)
+        entry = [callback, args, link_delay, link_callback, link_args]
         self._live += 1
-        heapq.heappush(self._queue, (when, seq, event))
-        return event
+        if when < self._horizon:
+            self._wheel[when & _WHEEL_MASK].append(entry)
+            self._wheel_count += 1
+        else:
+            seq = self._seq
+            self._seq = seq + 1
+            heapq.heappush(self._overflow, (when, seq, entry))
+
+    def _refill(self) -> None:
+        """Move overflow entries now inside the window into their buckets.
+
+        Must be called every time the window advances far enough to cover
+        the overflow head — *before* any direct insert for those cycles
+        can happen, which preserves the overflow-first ordering argument.
+        """
+        overflow = self._overflow
+        horizon = self._horizon
+        wheel = self._wheel
+        moved = 0
+        heappop = heapq.heappop
+        while overflow and overflow[0][0] < horizon:
+            entry = heappop(overflow)
+            wheel[entry[0] & _WHEEL_MASK].append(entry[2])
+            moved += 1
+        self._wheel_count += moved
 
     # ------------------------------------------------------------------
     # execution
@@ -228,42 +352,126 @@ class Engine:
         The clock is left at ``deadline`` even if the queue drains early, so
         callers can rely on ``engine.now`` after the call.
         """
-        deadline = self._as_cycles(deadline, "deadline")
-        queue = self._queue
+        if type(deadline) is not int:
+            deadline = self._as_cycles(deadline, "deadline")
+        wheel = self._wheel
+        overflow = self._overflow
         sanitizer = self.sanitizer
-        heappop = heapq.heappop
+        heappush = heapq.heappush
+        mask = _WHEEL_MASK
         dispatched = 0
+        pos = self._wheel_pos
+        self._refill()
+        next_refill = overflow[0][0] - _WHEEL_SIZE + 1 if overflow else _NEVER
         try:
-            if sanitizer is None:
-                while queue and queue[0][0] <= deadline:
-                    entry = heappop(queue)
-                    if len(entry) == 4:
-                        self._now = entry[0]
-                        entry[2](*entry[3])
-                    else:
-                        event = entry[2]
-                        if event.cancelled:
-                            continue
-                        event.fired = True
-                        self._now = entry[0]
-                        event.callback(*event.args)
-                    dispatched += 1
-            else:
-                while queue and queue[0][0] <= deadline:
-                    entry = heappop(queue)
-                    if len(entry) == 4:
-                        sanitizer.on_event(entry[0], self._now)
-                        self._now = entry[0]
-                        entry[2](*entry[3])
-                    else:
-                        event = entry[2]
-                        if event.cancelled:
-                            continue
-                        event.fired = True
-                        sanitizer.on_event(entry[0], self._now)
-                        self._now = entry[0]
-                        event.callback(*event.args)
-                    dispatched += 1
+            while pos <= deadline:
+                bucket = wheel[pos & mask]
+                if not bucket:
+                    if self._wheel_count:
+                        pos += 1
+                        if pos >= next_refill:
+                            self._wheel_pos = pos
+                            self._horizon = pos + _WHEEL_SIZE
+                            self._refill()
+                            next_refill = (
+                                overflow[0][0] - _WHEEL_SIZE + 1
+                                if overflow
+                                else _NEVER
+                            )
+                        continue
+                    if not overflow or overflow[0][0] > deadline:
+                        break
+                    # wheel empty: jump straight to the overflow head
+                    pos = overflow[0][0]
+                    self._wheel_pos = pos
+                    self._horizon = pos + _WHEEL_SIZE
+                    self._refill()
+                    next_refill = (
+                        overflow[0][0] - _WHEEL_SIZE + 1 if overflow else _NEVER
+                    )
+                    continue
+                # ---- dispatch every entry at cycle `pos` ----
+                self._wheel_pos = pos
+                horizon = pos + _WHEEL_SIZE
+                self._horizon = horizon
+                prev = self._now
+                self._now = pos
+                if sanitizer is None:
+                    # The list iterator picks up same-cycle appends made
+                    # by the callbacks themselves (zero-delay posts).
+                    skipped = 0
+                    for entry in bucket:
+                        if type(entry) is tuple:
+                            entry[0](*entry[1])
+                        elif type(entry) is list:
+                            entry[0](*entry[1])
+                            # fused chain: insert the continuation
+                            # exactly where a post() made here would land
+                            when2 = pos + entry[2]
+                            self._live += 1
+                            if when2 < horizon:
+                                wheel[when2 & mask].append(
+                                    (entry[3], entry[4])
+                                )
+                                self._wheel_count += 1
+                            else:
+                                seq = self._seq
+                                self._seq = seq + 1
+                                heappush(
+                                    overflow, (when2, seq, (entry[3], entry[4]))
+                                )
+                        else:
+                            if entry.cancelled:
+                                skipped += 1
+                                continue
+                            entry.fired = True
+                            entry.callback(*entry.args)
+                    # settle the counter per bucket, not per entry: the
+                    # final length covers same-cycle appends too
+                    dispatched += len(bucket) - skipped
+                else:
+                    for entry in bucket:
+                        if type(entry) is tuple:
+                            sanitizer.on_event(pos, prev)
+                            prev = pos
+                            entry[0](*entry[1])
+                        elif type(entry) is list:
+                            sanitizer.on_event(pos, prev)
+                            prev = pos
+                            entry[0](*entry[1])
+                            when2 = pos + entry[2]
+                            self._live += 1
+                            if when2 < horizon:
+                                wheel[when2 & mask].append(
+                                    (entry[3], entry[4])
+                                )
+                                self._wheel_count += 1
+                            else:
+                                seq = self._seq
+                                self._seq = seq + 1
+                                heappush(
+                                    overflow, (when2, seq, (entry[3], entry[4]))
+                                )
+                        else:
+                            if entry.cancelled:
+                                continue
+                            sanitizer.on_event(pos, prev)
+                            prev = pos
+                            entry.fired = True
+                            entry.callback(*entry.args)
+                        dispatched += 1
+                self._wheel_count -= len(bucket)
+                bucket.clear()
+                pos += 1
+                # callbacks may have pushed new far-future work
+                next_refill = overflow[0][0] - _WHEEL_SIZE + 1 if overflow else _NEVER
+                if pos >= next_refill:
+                    self._wheel_pos = pos
+                    self._horizon = pos + _WHEEL_SIZE
+                    self._refill()
+                    next_refill = (
+                        overflow[0][0] - _WHEEL_SIZE + 1 if overflow else _NEVER
+                    )
         finally:
             # cancelled entries already decremented _live in cancel(); the
             # dispatched ones are settled in one batch here
@@ -273,44 +481,108 @@ class Engine:
             _dispatched_total += dispatched
         if self._now < deadline:
             self._now = deadline
+        if self._wheel_pos < deadline:
+            self._wheel_pos = deadline
+            self._horizon = deadline + _WHEEL_SIZE
 
     def run(self, max_events: int | None = None) -> int:
         """Dispatch events until the queue is empty.
 
         Returns the number of events dispatched.  ``max_events`` guards
-        against runaway self-rescheduling components.
+        against runaway self-rescheduling components; on the guard trip
+        the offending entry (and everything after it) stays queued and
+        the clock stands at the aborted bucket's timestamp.
         """
-        dispatched = 0
-        queue = self._queue
+        wheel = self._wheel
+        overflow = self._overflow
         sanitizer = self.sanitizer
-        heappop = heapq.heappop
+        dispatched = 0
+        pos = self._wheel_pos
+        self._refill()
         try:
-            while queue:
-                entry = heappop(queue)
-                if len(entry) == 3:
-                    event = entry[2]
-                    if event.cancelled:
+            while True:
+                if self._wheel_count == 0:
+                    if not overflow:
+                        break
+                    pos = overflow[0][0]
+                    self._wheel_pos = pos
+                    self._horizon = pos + _WHEEL_SIZE
+                    self._refill()
+                    continue
+                bucket = wheel[pos & _WHEEL_MASK]
+                if not bucket:
+                    pos += 1
+                    if overflow and overflow[0][0] - _WHEEL_SIZE + 1 <= pos:
+                        self._wheel_pos = pos
+                        self._horizon = pos + _WHEEL_SIZE
+                        self._refill()
+                    continue
+                self._wheel_pos = pos
+                self._horizon = pos + _WHEEL_SIZE
+                index = 0
+                while index < len(bucket):
+                    entry = bucket[index]
+                    entry_type = type(entry)
+                    is_event = entry_type is not tuple and entry_type is not list
+                    if is_event and entry.cancelled:
+                        index += 1
                         continue
-                    event.fired = True
-                    callback = event.callback
-                    args = event.args
-                else:
-                    callback = entry[2]
-                    args = entry[3]
-                if max_events is not None and dispatched >= max_events:
-                    heapq.heappush(queue, entry)
-                    raise SimulationError(f"exceeded max_events={max_events}")
-                if sanitizer is not None:
-                    sanitizer.on_event(entry[0], self._now)
-                self._now = entry[0]
-                callback(*args)
-                dispatched += 1
+                    if max_events is not None and dispatched >= max_events:
+                        del bucket[:index]
+                        self._wheel_count -= index
+                        self._now = pos
+                        raise SimulationError(f"exceeded max_events={max_events}")
+                    if sanitizer is not None:
+                        sanitizer.on_event(pos, self._now)
+                    self._now = pos
+                    if is_event:
+                        entry.fired = True
+                        entry.callback(*entry.args)
+                    else:
+                        entry[0](*entry[1])
+                        if entry_type is list:
+                            when2 = pos + entry[2]
+                            self._live += 1
+                            if when2 < self._horizon:
+                                wheel[when2 & _WHEEL_MASK].append(
+                                    (entry[3], entry[4])
+                                )
+                                self._wheel_count += 1
+                            else:
+                                seq = self._seq
+                                self._seq = seq + 1
+                                heapq.heappush(
+                                    overflow, (when2, seq, (entry[3], entry[4]))
+                                )
+                    dispatched += 1
+                    index += 1
+                self._wheel_count -= index
+                bucket.clear()
+                pos += 1
         finally:
             self._live -= dispatched
             self.dispatched += dispatched
             global _dispatched_total
             _dispatched_total += dispatched
         return dispatched
+
+
+class Engine(TimingWheel):
+    """Event-driven simulator core with integer cycle time.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Component RNGs are derived from it via
+        :meth:`rng` so that adding a new consumer does not perturb the
+        streams of existing ones.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._seed = seed
+        self._rng_children: dict[str, np.random.Generator] = {}
+        self._epoch_listeners: list[Callable[[int], None]] = []
 
     # ------------------------------------------------------------------
     # randomness

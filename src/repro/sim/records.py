@@ -55,7 +55,9 @@ class MemoryRequest:
     qos_id: int
     core_id: int
     size: int = 64
-    req_id: int = field(default_factory=next_request_id)
+    # bound method of the shared counter: skips the next_request_id frame
+    # on every construction (requests are minted once per L2 miss)
+    req_id: int = field(default_factory=_request_ids.__next__)
 
     # lifecycle timestamps
     created_at: int = -1          # L2 miss detected

@@ -20,6 +20,13 @@ Violations raise :class:`~repro.sim.engine.SimulationError` carrying the
 offending request's full hop trace, so the failure points at the hop that
 went wrong rather than at a corrupted figure three layers later.
 
+Fused read-return chains (``Engine.post_chain_at``, see DESIGN.md §7)
+are transparent to these checks: the controller still stamps
+``completed_at`` at bank-service time — the first hop of the chain —
+and the core response dispatches one NoC return delay later, so the
+lifecycle monotonicity and conservation invariants see exactly the
+timestamps the unfused two-event path would have produced.
+
 The sanitizer costs one dict lookup and a few comparisons per hop; it is
 off by default and intended for CI integration runs and debugging.
 """

@@ -103,7 +103,12 @@ class Stats:
 
     def record_completion(self, req: MemoryRequest) -> None:
         """Account a finished memory transaction to its QoS class."""
-        stats = self.class_stats(req.qos_id)
+        # inlined class_stats(): one call per completed transaction
+        qos_id = req.qos_id
+        stats = self.classes.get(qos_id)
+        if stats is None:
+            stats = ClassStats(qos_id=qos_id)
+            self.classes[qos_id] = stats
         if req.is_read:
             stats.bytes_read += req.size
             stats.reads_completed += 1
@@ -114,7 +119,7 @@ class Stats:
             if latency > stats.read_latency_max:
                 stats.read_latency_max = latency
             if self.sample_latencies:
-                self.read_latencies.setdefault(req.qos_id, []).append(latency)
+                self.read_latencies.setdefault(qos_id, []).append(latency)
             if req.issued_at >= 0 and req.released_at >= 0:
                 stats.reads_attributed += 1
                 stats.stage_pacer_sum += req.released_at - req.created_at
@@ -124,7 +129,8 @@ class Stats:
         else:
             stats.bytes_written += req.size
             stats.writes_completed += 1
-        self._epoch_bytes[req.qos_id] = self._epoch_bytes.get(req.qos_id, 0) + req.size
+        epoch_bytes = self._epoch_bytes
+        epoch_bytes[qos_id] = epoch_bytes.get(qos_id, 0) + req.size
 
     def record_instructions(self, qos_id: int, count: int) -> None:
         self.class_stats(qos_id).instructions += count

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 from collections import deque
+from functools import partial
 from typing import Callable
 
 from repro.cache.hierarchy import CacheHierarchy, HierarchyOutcome, HitLevel
@@ -31,7 +32,7 @@ from repro.dram.controller import MemoryController
 from repro.qos.classes import QoSRegistry
 from repro.qos.monitor import BandwidthMonitor
 from repro.sim.config import SystemConfig
-from repro.sim.engine import Engine
+from repro.sim.engine import _WHEEL_MASK, Engine
 from repro.sim.mechanism import QoSMechanism
 from repro.sim.records import AccessType, MemoryRequest
 from repro.sim.sanitizer import SimSanitizer
@@ -74,6 +75,19 @@ class System:
             config, self.address_map, self._build_partition(), seed=seed
         )
         self.mechanism = mechanism if mechanism is not None else QoSMechanism()
+        # hot-path bindings: these run once per demand access / response
+        self._l2s = self.hierarchy.l2s
+        self._decode = self.address_map.decode
+        self._line_shift = self.address_map._line_shift
+        self._l2_latency = config.l2_latency
+        self._line_bytes = config.line_bytes
+        self._wb_demand = config.writeback_accounting == "demand"
+        # Cumulative route-delay tables for the fused injection fast path:
+        # the L2-miss hop chains have no arbitration point, so their total
+        # latency is a pure lookup at injection time.
+        self._hit_delay, self._miss_delay = self.topology.fused_route_tables(
+            config.l3_latency
+        )
 
         self.controllers = [
             MemoryController(self.engine, mc_id, config, self.address_map, self.stats)
@@ -110,6 +124,7 @@ class System:
                 workload=workload,
                 access_fn=self._core_access,
                 on_instructions=self.stats.record_instructions,
+                class_stats_lookup=self.stats.class_stats,
             )
             for core_id, workload in sorted(workloads.items())
         }
@@ -117,6 +132,20 @@ class System:
             core_id: MshrFile(config.l2_mshrs) for core_id in self.cores
         }
         self._stalled: dict[int, deque] = {core_id: deque() for core_id in self.cores}
+
+        # Fuse the deterministic read-return chain (bank service -> NoC
+        # return -> core response) now that the cores exist.  Absent or
+        # zero-return-delay cores keep the unfused on_read_complete path.
+        core_list = [self.cores.get(core_id) for core_id in range(config.cores)]
+        for controller in self.controllers:
+            controller.configure_read_fusion(
+                return_delays=[
+                    self.topology.tile_to_mc_latency(core_id, controller.mc_id)
+                    for core_id in range(config.cores)
+                ],
+                cores=core_list,
+                respond=self._respond,
+            )
 
         self.saturation = SaturationMonitor(
             self.controllers, threshold_fraction=config.sat_threshold_fraction
@@ -188,12 +217,39 @@ class System:
     def _core_access(
         self, core: Core, access: Access, done: Callable[[], None]
     ) -> None:
-        outcome = self.hierarchy.access(
-            core.core_id, access.addr, access.is_write, core.qos_id
-        )
-        if outcome.level is HitLevel.L2:
-            self.engine.post(self.config.l2_latency, done)
+        # Inlined L2-hit probe (mirrors SetAssociativeCache.access()'s hit
+        # path): the L2 hit is the dominant memory outcome, and taking it
+        # without the hierarchy.access + cache.access frames is measurable
+        # at every-access rates.  A probe miss falls through to the full
+        # hierarchy walk, whose own L2 probe repeats the miss verdict.
+        addr = access.addr
+        l2 = self._l2s[core.core_id]
+        line_number = addr >> self._line_shift
+        way = l2._where.get(line_number)
+        if way is not None:
+            set_index = line_number & l2._set_mask
+            if access.is_write:
+                l2._ways[set_index][way].dirty = True
+            lru = l2._lru
+            if lru is not None:
+                lru._clock += 1
+                lru._stamps[set_index][way] = lru._clock
+            else:
+                l2._policy.on_access(set_index, way)
+            l2.hits += 1
+            # inlined engine.post: the L2-hit resume dominates event traffic
+            engine = self.engine
+            when = engine._now + self._l2_latency
+            if when < engine._horizon:
+                engine._wheel[when & _WHEEL_MASK].append((done, ()))
+                engine._wheel_count += 1
+                engine._live += 1
+            else:
+                engine.post(self._l2_latency, done)
             return
+        outcome = self.hierarchy.access(
+            core.core_id, addr, access.is_write, core.qos_id
+        )
         self._start_miss(core, access, outcome, done)
 
     def _start_miss(
@@ -203,7 +259,7 @@ class System:
         outcome: HierarchyOutcome,
         done: Callable[[], None],
     ) -> None:
-        line = self.address_map.line_of(access.addr)
+        line = access.addr >> self._line_shift
         result = self._mshrs[core.core_id].allocate(line, done)
         if result is AllocationResult.FULL:
             self._stalled[core.core_id].append((core, access, outcome, done))
@@ -218,37 +274,44 @@ class System:
             access=AccessType.READ,
             qos_id=core.qos_id,
             core_id=core.core_id,
-            size=self.config.line_bytes,
+            size=self._line_bytes,
         )
-        req.created_at = self.engine.now
+        req.created_at = self.engine._now
         req.l3_hit = outcome.level is HitLevel.L3
-        req.caused_writeback = (
-            self.config.writeback_accounting == "demand"
-            and bool(outcome.mem_writebacks)
-        )
+        req.caused_writeback = self._wb_demand and bool(outcome.mem_writebacks)
         if self.engine.sanitizer is not None:
             self.engine.sanitizer.on_inject(req)
         self.mechanism.request_release(
-            core.core_id, req, lambda: self._inject(core, req, outcome)
+            core.core_id, req, partial(self._inject, core, req, outcome)
         )
 
     def _inject(self, core: Core, req: MemoryRequest, outcome: HierarchyOutcome) -> None:
         """The request passed the pacer and enters the SoC network."""
-        req.released_at = self.engine.now
-        slice_tile = outcome.l3_slice if outcome.l3_slice >= 0 else core.core_id
-        to_slice = self.topology.tile_to_tile_latency(core.core_id, slice_tile)
+        engine = self.engine
+        req.released_at = engine._now
+        core_id = core.core_id
+        slice_tile = outcome.l3_slice if outcome.l3_slice >= 0 else core_id
         if req.l3_hit:
-            delay = 2 * to_slice + self.config.l3_latency
-            self.engine.post(delay, self._respond, core, req)
+            when = engine._now + self._hit_delay[core_id][slice_tile]
+            if when < engine._horizon:
+                engine._wheel[when & _WHEEL_MASK].append((self._respond, (core, req)))
+                engine._wheel_count += 1
+                engine._live += 1
+            else:
+                engine.post_at(when, self._respond, core, req)
             return
 
-        req.mc_id = self.address_map.mc_of(req.addr)
-        delay = (
-            to_slice
-            + self.config.l3_latency
-            + self.topology.tile_to_mc_latency(slice_tile, req.mc_id)
-        )
-        self.engine.post(delay, self._deliver, req)
+        # one decode stamps the full route (mc/bank/row) so the controller's
+        # accept path never re-decodes the address
+        _, mc_id, req.bank_id, req.row_id = self._decode(req.addr)
+        req.mc_id = mc_id
+        when = engine._now + self._miss_delay[core_id][slice_tile][mc_id]
+        if when < engine._horizon:
+            engine._wheel[when & _WHEEL_MASK].append((self._deliver, (req,)))
+            engine._wheel_count += 1
+            engine._live += 1
+        else:
+            engine.post_at(when, self._deliver, req)
         for writeback in outcome.mem_writebacks:
             self._send_writeback(core, writeback, slice_tile)
 
@@ -273,9 +336,9 @@ class System:
             core_id=core.core_id,
             size=self.config.line_bytes,
         )
-        wb.created_at = self.engine.now
-        wb.released_at = self.engine.now
-        wb.mc_id = self.address_map.mc_of(info.addr)
+        wb.created_at = self.engine._now
+        wb.released_at = self.engine._now
+        _, wb.mc_id, wb.bank_id, wb.row_id = self._decode(info.addr)
         if self.engine.sanitizer is not None:
             self.engine.sanitizer.on_inject(wb)
         delay = self.topology.tile_to_mc_latency(slice_tile, wb.mc_id)
@@ -355,11 +418,11 @@ class System:
     def _respond(self, core: Core, req: MemoryRequest) -> None:
         """Response reached the source tile: notify mechanism, wake waiters."""
         if req.completed_at < 0:
-            req.completed_at = self.engine.now  # L3 hit completes locally
+            req.completed_at = self.engine._now  # L3 hit completes locally
             if self.engine.sanitizer is not None:
                 self.engine.sanitizer.on_complete(req)
         self.mechanism.on_response(core.core_id, req)
-        line = self.address_map.line_of(req.addr)
+        line = req.addr >> self._line_shift
         for callback in self._mshrs[core.core_id].complete(line):
             callback()
         self._drain_stalled(core.core_id)
@@ -369,7 +432,7 @@ class System:
         mshrs = self._mshrs[core_id]
         while queue:
             core, access, outcome, done = queue[0]
-            line = self.address_map.line_of(access.addr)
+            line = access.addr >> self._line_shift
             result = mshrs.allocate(line, done)
             if result is AllocationResult.FULL:
                 return

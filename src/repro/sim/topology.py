@@ -173,6 +173,34 @@ class MeshTopology:
     def hops(self, src: tuple[int, int], dst: tuple[int, int]) -> int:
         return self._distance[src][dst]
 
+    def fused_route_tables(
+        self, l3_latency: int
+    ) -> tuple[list[list[int]], list[list[list[int]]]]:
+        """Cumulative route delays for the fused L2-miss fast paths.
+
+        ``hit[core][slice]`` is the whole L3-hit round trip (core ->
+        slice -> core plus the L3 access); ``miss[core][slice][mc]`` the
+        whole L3-miss delivery leg (core -> slice -> MC plus the L3
+        lookup).  Materializing the sums keeps the per-request path to a
+        couple of list indexes with no arithmetic — the hop chain has no
+        arbitration point, so the cumulative latency is fixed at issue.
+        """
+        hit = [
+            [2 * to_slice + l3_latency for to_slice in row]
+            for row in self._tile_tile_latency
+        ]
+        miss = [
+            [
+                [
+                    to_slice + l3_latency + mc_latency
+                    for mc_latency in self._tile_mc_latency[slice_tile]
+                ]
+                for slice_tile, to_slice in enumerate(row)
+            ]
+            for row in self._tile_tile_latency
+        ]
+        return hit, miss
+
     def tile_to_tile_latency(self, src_tile: int, dst_tile: int) -> int:
         """One-way NoC latency between two tiles, in cycles."""
         return self._tile_tile_latency[src_tile][dst_tile]

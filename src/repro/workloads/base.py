@@ -15,7 +15,6 @@ see DESIGN.md §4 for why it preserves the behaviour PABST regulates.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -30,27 +29,43 @@ __all__ = ["Access", "Workload"]
 CORE_ADDRESS_STRIDE = 1 << 32
 
 
-@dataclass(slots=True)
 class Access:
     """One memory operation a context performs.
 
     ``gap`` is compute time (cycles) the context spends before issuing;
     ``instructions`` is the retirement credit granted when it completes,
     which feeds the IPC used by weighted slowdown (Eq. 6).
+
+    A hand-written ``__slots__`` class rather than a dataclass: one Access
+    is created per access of every context, and the dataclass would add a
+    ``__post_init__`` call frame to each construction.
     """
 
-    addr: int
-    is_write: bool = False
-    gap: int = 0
-    instructions: int = 1
+    __slots__ = ("addr", "is_write", "gap", "instructions")
 
-    def __post_init__(self) -> None:
-        if self.addr < 0:
+    def __init__(
+        self,
+        addr: int,
+        is_write: bool = False,
+        gap: int = 0,
+        instructions: int = 1,
+    ) -> None:
+        if addr < 0:
             raise ValueError("addr must be non-negative")
-        if self.gap < 0:
+        if gap < 0:
             raise ValueError("gap must be non-negative")
-        if self.instructions < 0:
+        if instructions < 0:
             raise ValueError("instructions must be non-negative")
+        self.addr = addr
+        self.is_write = is_write
+        self.gap = gap
+        self.instructions = instructions
+
+    def __repr__(self) -> str:
+        return (
+            f"Access(addr={self.addr:#x}, is_write={self.is_write}, "
+            f"gap={self.gap}, instructions={self.instructions})"
+        )
 
 
 class Workload(ABC):
@@ -63,6 +78,9 @@ class Workload(ABC):
         self.core: "Core | None" = None
         self._rng: np.random.Generator | None = None
         self._base_addr = 0
+        # bound at bind(): lets generators read the clock without the
+        # workload.now -> core.now -> engine.now property chain
+        self._engine = None
 
     # ------------------------------------------------------------------
     # binding
@@ -71,6 +89,7 @@ class Workload(ABC):
         """Attach to the driving core; called once before simulation."""
         self.core = core
         self._rng = core.rng
+        self._engine = core._engine
         self._base_addr = core.core_id * CORE_ADDRESS_STRIDE
         self.on_bind()
 

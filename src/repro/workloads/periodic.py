@@ -53,17 +53,34 @@ class PeriodicStreamWorkload(Workload):
         """True while the workload streams through memory."""
         return (now % self._period) < self._active
 
+    def on_bind(self) -> None:
+        # the streamed range starts above the hot set so cache-phase lines
+        # are never evicted by the active phase
+        self._stream_base = self._base_addr + self._hot_set
+        # One reusable Access per context (see StreamWorkload.on_bind): the
+        # core reads every field before requesting the next access.
+        self._scratch = [
+            Access(addr=0, is_write=False, gap=0, instructions=self._inst)
+            for _ in range(self.contexts)
+        ]
+
     def next_access(self, context: int) -> Access | None:
-        if self.in_active_phase(self.now):
-            offset = self._cursor % self._working_set
-            self._cursor += self._stride
-            # skip the hot range so cache-phase lines are never evicted by us
-            addr = self.base_addr + self._hot_set + offset
-            gap = 0
+        access = self._scratch[context]
+        if self._engine._now % self._period < self._active:
+            # cursors stay reduced modulo their range: one compare per
+            # access instead of a wide-int modulo
+            cursor = self._cursor
+            if cursor >= self._working_set:
+                cursor %= self._working_set
+            self._cursor = cursor + self._stride
+            access.addr = self._stream_base + cursor
+            access.gap = 0
         else:
-            offset = self._hot_cursor % self._hot_set
-            self._hot_cursor += 64
-            addr = self.base_addr + offset
+            cursor = self._hot_cursor
+            if cursor >= self._hot_set:
+                cursor %= self._hot_set
+            self._hot_cursor = cursor + 64
+            access.addr = self._base_addr + cursor
             # cache hits return quickly; a small gap keeps the replay rate sane
-            gap = 4
-        return Access(addr=addr, is_write=False, gap=gap, instructions=self._inst)
+            access.gap = 4
+        return access

@@ -67,19 +67,35 @@ class StreamWorkload(Workload):
         self._offset = start_offset_bytes
         self._cursor = 0
 
+    def on_bind(self) -> None:
+        self._base = self._base_addr + self._offset
+        # One reusable Access per context: a context has at most one access
+        # in flight and the core reads every field before requesting the
+        # next one, so mutating in place skips an allocation per access.
+        self._scratch = [
+            Access(
+                addr=self._base,
+                is_write=False,
+                gap=self._gap,
+                instructions=self._inst,
+            )
+            for _ in range(self.contexts)
+        ]
+
     def next_access(self, context: int) -> Access | None:
-        offset = self._cursor % self._working_set
-        self._cursor += self._stride
-        is_write = (
-            self._write_fraction > 0.0
-            and self.rng.random() < self._write_fraction
-        )
-        return Access(
-            addr=self.base_addr + self._offset + offset,
-            is_write=is_write,
-            gap=self._gap,
-            instructions=self._inst,
-        )
+        if self._rng is None:
+            raise RuntimeError(f"workload {self.name!r} is not bound to a core")
+        # the cursor is kept reduced modulo the working set, so the wrap
+        # costs a compare per access instead of a wide-int modulo
+        cursor = self._cursor
+        if cursor >= self._working_set:
+            cursor %= self._working_set
+        self._cursor = cursor + self._stride
+        access = self._scratch[context]
+        access.addr = self._base + cursor
+        if self._write_fraction > 0.0:
+            access.is_write = self.rng.random() < self._write_fraction
+        return access
 
 
 def l3_resident_stream(

@@ -187,12 +187,35 @@ class TestPerf001NetworkxConfinement:
         assert codes("import networkx as nx\n", TEST_PATH) == []
 
     def test_unrelated_import_ok(self):
-        assert codes("import heapq\n") == []
+        assert codes("import bisect\n") == []
 
     def test_noqa_suppresses(self):
         assert codes(
             "import networkx as nx  # repro: noqa[PERF001]\n"
         ) == []
+
+
+class TestPerf002HeapqConfinement:
+    def test_import_in_sim_module_fires(self):
+        assert codes("import heapq\n") == ["PERF002"]
+
+    def test_from_import_fires(self):
+        assert codes("from heapq import heappush\n") == ["PERF002"]
+
+    def test_import_elsewhere_in_repro_fires(self):
+        assert codes("import heapq\n", REPRO_PATH) == ["PERF002"]
+
+    def test_engine_module_is_allowed(self):
+        assert codes("import heapq\n", "src/repro/sim/engine.py") == []
+
+    def test_tests_are_out_of_scope(self):
+        assert codes("import heapq\n", TEST_PATH) == []
+
+    def test_unrelated_import_ok(self):
+        assert codes("import bisect\n") == []
+
+    def test_noqa_suppresses(self):
+        assert codes("import heapq  # repro: noqa[PERF002]\n") == []
 
 
 class TestNoqaForms:
@@ -220,7 +243,7 @@ class TestDriver:
     def test_registry_covers_documented_rules(self):
         assert set(RULES) == {
             "DET001", "DET002", "DET003", "DET004", "DET005", "SIM001",
-            "PERF001",
+            "PERF001", "PERF002",
         }
 
     def test_main_exit_codes(self, tmp_path: Path, capsys):

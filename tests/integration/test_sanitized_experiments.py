@@ -56,13 +56,15 @@ class TestSanitizerChecksRealTraffic:
         future, so completed < created on the next retiring request."""
         system = two_class_system(sanitize=True)
         for controller in system.controllers:
-            original = controller._complete
+            # _retire is the completion bookkeeping shared by the fused
+            # and unfused read-return paths
+            original = controller._retire
 
             def corrupted(req, _original=original):
                 req.created_at = 10**12
                 _original(req)
 
-            controller._complete = corrupted
+            controller._retire = corrupted
         with pytest.raises(SimulationError, match="sanitizer: .*lifecycle"):
             system.run_epochs(3)
 

@@ -87,10 +87,10 @@ def test_property_stride_ratio_tracks_inverse_weight_ratio(weight_a, weight_b):
 def test_property_shares_sum_to_one_and_order_matches(weights):
     shares = proportional_shares(weights)
     assert sum(shares.values()) == pytest.approx(1.0)
-    ranked_w = sorted(weights, key=weights.get)
-    ranked_s = sorted(shares, key=shares.get)
-    assert [weights[k] for k in ranked_w] == pytest.approx(
-        sorted(weights.values())
-    )
-    # shares preserve the weight ordering
-    assert ranked_s == sorted(ranked_s, key=lambda k: weights[k])
+    # each share is exactly proportional to its weight (this subsumes
+    # order preservation without tripping on float ties: two weights that
+    # differ by less than an ulp of the total legitimately quantize to
+    # the same share, so a strict sorted-order comparison is too strong)
+    total = sum(weights.values())
+    for key, weight in weights.items():
+        assert shares[key] == pytest.approx(weight / total)

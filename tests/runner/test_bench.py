@@ -1,9 +1,17 @@
-"""Tests for the bench document and baseline regression check."""
+"""Tests for the bench document, baseline check, and profile report."""
 
 import json
+import platform
+
+import pytest
 
 from repro.runner import bench
-from repro.runner.bench import check_against_baseline, run_bench, write_bench
+from repro.runner.bench import (
+    check_against_baseline,
+    run_bench,
+    run_profile,
+    write_bench,
+)
 
 
 def _doc(**figures):
@@ -24,14 +32,48 @@ class TestRunBench:
                     "events_per_sec": 34.0123}
 
         monkeypatch.setattr(bench, "execute_spec", fake_execute)
-        document = run_bench(["fig05", "fig06"], quick=True, seed=7)
-        assert document["schema"] == 1
+        document = run_bench(["fig05", "fig06"], quick=True, seed=7, repeat=1)
+        assert document["schema"] == 2
         assert document["quick"] is True
         assert document["seed"] == 7
+        assert document["repeat"] == 1
         assert set(document["figures"]) == {"fig05", "fig06"}
         entry = document["figures"]["fig05"]
         assert entry == {"ok": True, "wall_seconds": 1.2346, "events": 42,
-                         "events_per_sec": 34.0}
+                         "events_per_sec": 34.0, "repeats": 1}
+
+    def test_environment_metadata_recorded(self, monkeypatch):
+        monkeypatch.setattr(
+            bench, "execute_spec",
+            lambda spec: {"ok": True, "wall_seconds": 1.0, "events": 10,
+                          "events_per_sec": 10.0},
+        )
+        document = run_bench(["fig05"], repeat=1)
+        assert document["python_version"] == platform.python_version()
+        assert document["platform"] == platform.platform()
+        # inside this repo the revision must resolve to a hex hash
+        assert document["git_revision"] is None or all(
+            c in "0123456789abcdef" for c in document["git_revision"]
+        )
+
+    def test_median_wall_time_over_repeats(self, monkeypatch):
+        walls = iter([4.0, 1.0, 2.0])
+
+        def fake_execute(spec):
+            wall = next(walls)
+            return {"ok": True, "wall_seconds": wall, "events": 100,
+                    "events_per_sec": 100 / wall}
+
+        monkeypatch.setattr(bench, "execute_spec", fake_execute)
+        document = run_bench(["fig05"], repeat=3)
+        entry = document["figures"]["fig05"]
+        assert entry["repeats"] == 3
+        assert entry["wall_seconds"] == 2.0  # median of 4.0, 1.0, 2.0
+        assert entry["events_per_sec"] == 50.0
+
+    def test_repeat_must_be_positive(self):
+        with pytest.raises(ValueError, match="repeat"):
+            run_bench(["fig05"], repeat=0)
 
     def test_failed_figure_is_recorded(self, monkeypatch):
         monkeypatch.setattr(
@@ -42,7 +84,7 @@ class TestRunBench:
         assert document["figures"]["fig05"] == {"ok": False, "error": "boom"}
 
     def test_real_run_end_to_end(self):
-        document = run_bench(["fig05"], quick=True)
+        document = run_bench(["fig05"], quick=True, repeat=1)
         entry = document["figures"]["fig05"]
         assert entry["ok"]
         assert entry["events"] > 0
@@ -57,6 +99,28 @@ class TestRunBench:
         document = run_bench(["fig05"])
         path = write_bench(document, tmp_path / "bench.json")
         assert json.loads(path.read_text(encoding="utf-8")) == document
+
+
+class TestRunProfile:
+    def test_profile_emits_hotspot_report(self):
+        report = run_profile("fig05", quick=True, top=10)
+        assert report["ok"]
+        assert report["figure"] == "fig05"
+        assert report["events"] > 0
+        assert report["events_per_sec"] > 0
+        assert 0 < len(report["hotspots"]) <= 10
+        top_spot = report["hotspots"][0]
+        assert {"file", "line", "function", "ncalls", "tottime",
+                "cumtime"} <= set(top_spot)
+        # ranked by tottime, and the report must be JSON-serializable
+        tottimes = [spot["tottime"] for spot in report["hotspots"]]
+        assert tottimes == sorted(tottimes, reverse=True)
+        json.dumps(report)
+
+    def test_profile_surfaces_simulator_hotspots(self):
+        report = run_profile("fig05", quick=True, top=25)
+        files = {spot["file"] for spot in report["hotspots"]}
+        assert any("repro" in name for name in files)
 
 
 class TestCheckAgainstBaseline:
