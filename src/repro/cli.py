@@ -6,8 +6,11 @@ Usage::
     python -m repro run fig05 [--quick] [--seed N] [--sanitize]
     python -m repro run-all [--quick]
     python -m repro sweep fig07 [--quick] [--workers N] [--no-cache]
+                          [--warm-start]
+    python -m repro checkpoint fig05 [--quick] [--seed N] | --stats | --clear
+    python -m repro cache [--stats] [--clear]
     python -m repro bench [figs ...] [--quick] [--check BASELINE]
-                          [--repeat N] [--update]
+                          [--repeat N] [--update] [--no-history]
     python -m repro profile fig05 [--quick] [--top N] [--output PATH]
     python -m repro info
     python -m repro lint [paths ...]
@@ -15,6 +18,10 @@ Usage::
 ``--sanitize`` attaches the runtime invariant checker
 (:mod:`repro.sim.sanitizer`) to every system the experiment builds;
 ``lint`` runs the determinism linter (:mod:`repro.devtools.lint`).
+``sweep --warm-start`` simulates each warm-up prefix once and forks the
+remaining cells from its checkpoint (:mod:`repro.runner.checkpoint`);
+``checkpoint`` pre-populates those snapshots, and ``cache`` reports or
+clears everything under ``.repro-cache/``.
 
 Each experiment prints the same report table/series its benchmark asserts
 against; see EXPERIMENTS.md for the paper-vs-measured record.
@@ -103,6 +110,12 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _checkpoint_dir(cache_dir: str) -> str:
+    from pathlib import Path
+
+    return str(Path(cache_dir) / "checkpoints")
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.runner import ResultCache, run_specs, specs_for_figure
 
@@ -121,6 +134,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache=cache,
         use_cache=not args.no_cache,
         progress=print,
+        warm_start_dir=(
+            _checkpoint_dir(args.cache_dir) if args.warm_start else None
+        ),
     )
     elapsed = time.perf_counter() - started
 
@@ -143,14 +159,73 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from repro.runner import specs_for_figure
+    from repro.runner.checkpoint import CheckpointStore
+    from repro.runner.worker import execute_spec
+
+    store = CheckpointStore(_checkpoint_dir(args.cache_dir))
+    if args.stats or args.clear:
+        if args.clear:
+            print(f"[removed {store.clear()} checkpoint(s)]")
+        if args.stats:
+            stats = store.stats()
+            print(f"{stats['directory']}: {stats['entries']} checkpoint(s), "
+                  f"{stats['bytes']:,} bytes (cap {stats['max_entries']})")
+        return 0
+    if args.experiment is None:
+        print("checkpoint needs an experiment name (or --stats/--clear)",
+              file=sys.stderr)
+        return 2
+    if args.experiment not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        print(f"unknown experiment {args.experiment!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    specs = specs_for_figure(args.experiment, quick=args.quick, seed=args.seed)
+    leaders = {spec.warmup_group_key(): spec for spec in specs}
+    started = time.perf_counter()
+    failures = 0
+    for spec in leaders.values():
+        result = execute_spec(spec, warm_start_dir=str(store.directory))
+        if result.get("ok"):
+            print(f"ok   {spec.label()}")
+        else:
+            failures += 1
+            print(f"FAIL {spec.label()}: {result.get('error')}")
+    elapsed = time.perf_counter() - started
+    print(f"[{len(leaders)} warm-up prefix(es) for {len(specs)} cell(s), "
+          f"{len(store)} stored, {failures} failed, {elapsed:.1f}s]")
+    return 1 if failures else 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runner import ResultCache
+    from repro.runner.checkpoint import CheckpointStore
+
+    cache = ResultCache(args.cache_dir)
+    store = CheckpointStore(_checkpoint_dir(args.cache_dir))
+    if args.clear:
+        print(f"[removed {cache.clear()} result(s), "
+              f"{store.clear()} checkpoint(s)]")
+    # default (and --stats): report both stores' footprints
+    for stats, kind in ((cache.stats(), "result(s)"),
+                        (store.stats(), "checkpoint(s)")):
+        print(f"{stats['directory']}: {stats['entries']} {kind}, "
+              f"{stats['bytes']:,} bytes (cap {stats['max_entries']})")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
     from repro.runner.bench import (
         BASELINE_PATH,
+        append_history,
         check_against_baseline,
         default_bench_path,
         run_bench,
+        run_warm_start_bench,
         write_bench,
     )
 
@@ -172,6 +247,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         else:
             print(f"{figure:<8} FAILED: {entry.get('error')}")
 
+    if not args.no_warm_start:
+        warm = run_warm_start_bench(
+            "fig05", quick=True, seed=args.seed, repeat=args.repeat
+        )
+        document["warm_start"] = warm
+        if warm.get("ok"):
+            print(f"warm-start fig05 sweep: cold {warm['cold_seconds']:.2f}s"
+                  f" -> warm {warm['warm_seconds']:.2f}s"
+                  f"  ({warm['speedup']:.2f}x, {warm['cells']} cells)")
+        else:
+            print(f"warm-start fig05 sweep FAILED: {warm.get('error')}")
+
     if args.check is not None:
         with open(args.check, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
@@ -192,6 +279,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         output = default_bench_path()
     path = write_bench(document, output)
     print(f"[wrote {path}]")
+    if not args.no_history:
+        history = append_history(document)
+        print(f"[appended to {history}]")
     return 0
 
 
@@ -295,7 +385,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ignore cached results (still refreshes them)")
     sweep.add_argument("--cache-dir", default=".repro-cache",
                        help="result cache directory (default: .repro-cache)")
+    sweep.add_argument("--warm-start", action="store_true",
+                       help="simulate each warm-up prefix once and fork the "
+                            "remaining cells from its checkpoint")
     sweep.set_defaults(func=_cmd_sweep)
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="pre-populate warm-up checkpoints for a figure's sweep grid",
+    )
+    checkpoint.add_argument("experiment", nargs="?", default=None,
+                            help="experiment name, e.g. fig05")
+    checkpoint.add_argument("--quick", action="store_true",
+                            help="reduced scale (seconds instead of minutes)")
+    checkpoint.add_argument("--seed", type=int, default=0)
+    checkpoint.add_argument("--cache-dir", default=".repro-cache",
+                            help="cache directory holding checkpoints/ "
+                                 "(default: .repro-cache)")
+    checkpoint.add_argument("--stats", action="store_true",
+                            help="report the checkpoint store's footprint")
+    checkpoint.add_argument("--clear", action="store_true",
+                            help="delete every stored checkpoint")
+    checkpoint.set_defaults(func=_cmd_checkpoint)
+
+    cache = sub.add_parser(
+        "cache", help="report or clear the result + checkpoint caches"
+    )
+    cache.add_argument("--cache-dir", default=".repro-cache",
+                       help="cache directory (default: .repro-cache)")
+    cache.add_argument("--stats", action="store_true",
+                       help="report cache footprints (the default action)")
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every cached result and checkpoint")
+    cache.set_defaults(func=_cmd_cache)
 
     bench = sub.add_parser(
         "bench", help="measure wall-clock and events/sec per figure"
@@ -316,6 +438,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 3)")
     bench.add_argument("--update", action="store_true",
                        help="rewrite BENCH_baseline.json in place")
+    bench.add_argument("--no-warm-start", action="store_true",
+                       help="skip the cold-vs-warm-started sweep comparison")
+    bench.add_argument("--no-history", action="store_true",
+                       help="skip appending this run to BENCH_history.jsonl")
     bench.set_defaults(func=_cmd_bench)
 
     profile = sub.add_parser(

@@ -42,6 +42,12 @@ PERF002   ``heapq`` may only be imported by ``sim/engine.py``.  The
           the package either duplicates event ordering outside the
           engine's ``(when, seq)`` guarantee or reintroduces per-event
           heap traffic the wheel exists to avoid.
+PERF003   serialization modules (``pickle``, ``marshal``, ``shelve``,
+          ``dill``) may only be imported by ``runner/checkpoint.py``.
+          Simulator-state serialization is a versioned, validated
+          checkpoint format; an ad-hoc pickle elsewhere either bypasses
+          the restore validation/versioning or drags serialization
+          overhead into simulation code.
 ========  ==============================================================
 
 Usage::
@@ -499,6 +505,53 @@ class HeapqOnlyInEngine(Rule):
         module = node.module or ""
         if module == "heapq" or module.startswith("heapq."):
             self._flag(node)
+        self.generic_visit(node)
+
+
+@register
+class SerializationOnlyInCheckpoint(Rule):
+    code = "PERF003"
+    summary = "serialization imports are confined to runner/checkpoint.py"
+
+    #: The one module allowed to serialize simulator state: checkpoints
+    #: carry a version field and pass restore validation there.
+    _ALLOWED = ("runner", "checkpoint.py")
+
+    #: Serialization modules covered by the rule.  json is exempt — it
+    #: cannot encode object graphs, so it poses no checkpoint hazard.
+    _BANNED = ("pickle", "cPickle", "marshal", "shelve", "dill")
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        parts = ctx.repro_parts
+        return parts is not None and parts != cls._ALLOWED
+
+    def _flag(self, node: ast.AST, module: str) -> None:
+        self.report(
+            node,
+            f"{module} import outside runner/checkpoint.py; simulator "
+            "state serialization is a versioned checkpoint format with "
+            "restore validation — route snapshots through "
+            "repro.runner.checkpoint instead of ad-hoc pickling",
+        )
+
+    def _match(self, name: str) -> str | None:
+        for banned in self._BANNED:
+            if name == banned or name.startswith(banned + "."):
+                return banned
+        return None
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            banned = self._match(alias.name)
+            if banned is not None:
+                self._flag(node, banned)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        banned = self._match(node.module or "")
+        if banned is not None:
+            self._flag(node, banned)
         self.generic_visit(node)
 
 

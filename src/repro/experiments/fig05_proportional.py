@@ -15,10 +15,15 @@ from repro.core.pabst import PabstMechanism
 from repro.experiments.common import ClassSpec, build_system, run_system
 from repro.workloads.stream import StreamWorkload
 
-__all__ = ["Fig05Result", "run", "sweep_cells"]
+__all__ = ["Fig05Result", "MEASURE_KEYS", "run", "sweep_cells"]
 
 HI_WEIGHT = 7
 LO_WEIGHT = 3
+
+#: Cell keys that only affect the measurement phase: cells differing
+#: only in these share a warm-up prefix, so `repro sweep --warm-start`
+#: simulates the warm-up once and forks the cells from the checkpoint.
+MEASURE_KEYS = ("measure_epochs",)
 
 
 @dataclass
@@ -47,9 +52,15 @@ class Fig05Result:
 
 
 def run(
-    quick: bool = False, seed: int = 0, sanitize: bool | None = None
+    quick: bool = False,
+    seed: int = 0,
+    sanitize: bool | None = None,
+    measure_epochs: int | None = None,
 ) -> Fig05Result:
-    epochs, warmup = (60, 25) if quick else (140, 50)
+    warmup = 25 if quick else 50
+    if measure_epochs is None:
+        measure_epochs = 35 if quick else 90
+    epochs = warmup + measure_epochs
     cores_per_class = 4
     specs = [
         ClassSpec(
@@ -83,5 +94,11 @@ def run(
 
 
 def sweep_cells(quick: bool = False) -> list[dict]:
-    """This figure is one timeline run; a single empty cell."""
-    return [{}]
+    """Measurement-window sweep: convergence of the steady shares.
+
+    Every cell shares the same warm-up prefix (same classes, seed, and
+    warm-up length), differing only in how long the measured window
+    runs — the showcase for checkpointed warm-starting.
+    """
+    lengths = range(10, 55, 5) if quick else range(30, 120, 10)
+    return [{"measure_epochs": length} for length in lengths]

@@ -31,16 +31,23 @@ from repro.runner.worker import execute_spec
 
 __all__ = [
     "BASELINE_PATH",
+    "HISTORY_PATH",
+    "append_history",
     "check_against_baseline",
     "default_bench_path",
     "git_revision",
     "run_bench",
     "run_profile",
+    "run_warm_start_bench",
     "write_bench",
 ]
 
 #: The committed baseline the CI perf-smoke job checks against.
 BASELINE_PATH = Path("BENCH_baseline.json")
+
+#: Append-only perf trajectory: one JSON line per ``repro bench`` run,
+#: timestamped and git-rev-tagged, tracked in-repo next to the baseline.
+HISTORY_PATH = Path("BENCH_history.jsonl")
 
 
 def git_revision() -> str | None:
@@ -99,6 +106,78 @@ def run_bench(
         "git_revision": git_revision(),
         "figures": results,
     }
+
+
+def run_warm_start_bench(
+    figure: str = "fig05", quick: bool = True, seed: int = 0, repeat: int = 3
+) -> dict[str, Any]:
+    """Cold vs warm-started sweep wall-clock over one figure's grid.
+
+    Times the figure's full sweep twice — cold (every cell simulates its
+    own warm-up) and warm-started (cells fork from a shared checkpoint;
+    the store is populated outside the timed window).  Sequential
+    workers keep the comparison about simulation work, not pool
+    scheduling.  Reports the median of ``repeat`` runs each way and the
+    resulting speedup; warm reports are cross-checked byte-identical to
+    cold ones, so a determinism break fails the bench instead of
+    flattering it.
+    """
+    import tempfile
+
+    from repro.runner.pool import run_specs
+    from repro.runner.spec import specs_for_figure
+
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    specs = specs_for_figure(figure, quick=quick, seed=seed)
+    entry: dict[str, Any] = {
+        "figure": figure,
+        "quick": quick,
+        "cells": len(specs),
+        "repeats": repeat,
+    }
+
+    def timed_sweep(warm_start_dir: str | None) -> tuple[float, list[str] | None]:
+        start = time.perf_counter()
+        outcomes = run_specs(specs, workers=1, warm_start_dir=warm_start_dir)
+        wall = time.perf_counter() - start
+        if not all(outcome.ok for outcome in outcomes):
+            return wall, None
+        return wall, [outcome.result["report"] for outcome in outcomes]
+
+    with tempfile.TemporaryDirectory(prefix="repro-warm-bench-") as tmp:
+        cold_walls: list[float] = []
+        cold_reports: list[str] | None = None
+        for _ in range(repeat):
+            wall, reports = timed_sweep(None)
+            if reports is None:
+                entry.update(ok=False, error="cold sweep cell failed")
+                return entry
+            cold_walls.append(wall)
+            cold_reports = reports
+        timed_sweep(tmp)  # populate the checkpoint store, untimed
+        warm_walls: list[float] = []
+        for _ in range(repeat):
+            wall, reports = timed_sweep(tmp)
+            if reports is None:
+                entry.update(ok=False, error="warm-started sweep cell failed")
+                return entry
+            if reports != cold_reports:
+                entry.update(
+                    ok=False, error="warm-started reports diverged from cold"
+                )
+                return entry
+            warm_walls.append(wall)
+
+    cold = statistics.median(cold_walls)
+    warm = statistics.median(warm_walls)
+    entry.update(
+        ok=True,
+        cold_seconds=round(cold, 4),
+        warm_seconds=round(warm, 4),
+        speedup=round(cold / warm, 3) if warm > 0 else 0.0,
+    )
+    return entry
 
 
 def run_profile(
@@ -160,6 +239,54 @@ def write_bench(document: Mapping[str, Any], path: Path | str) -> Path:
     path = Path(path)
     with path.open("w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def append_history(
+    document: Mapping[str, Any], path: Path | str = HISTORY_PATH
+) -> Path:
+    """Append one compact line for this bench run to the history log.
+
+    The line keeps only the trajectory-relevant fields (timestamp, git
+    revision, run parameters, per-figure rate/wall/events), so the log
+    stays grep-able and a thousand runs cost kilobytes.  Baseline
+    updates and history appends are deliberately decoupled: the history
+    records every measurement, the baseline only the blessed ones.
+    """
+    figures = {}
+    for figure, entry in document.get("figures", {}).items():
+        if entry.get("ok"):
+            figures[figure] = {
+                "events_per_sec": entry.get("events_per_sec"),
+                "wall_seconds": entry.get("wall_seconds"),
+                "events": entry.get("events"),
+            }
+        else:
+            figures[figure] = {"error": entry.get("error")}
+    line = {
+        "generated_at": document.get("generated_at"),
+        "git_revision": document.get("git_revision"),
+        "quick": document.get("quick"),
+        "seed": document.get("seed"),
+        "repeat": document.get("repeat"),
+        "python_version": document.get("python_version"),
+        "figures": figures,
+    }
+    warm = document.get("warm_start")
+    if warm is not None:
+        if warm.get("ok"):
+            line["warm_start"] = {
+                "figure": warm.get("figure"),
+                "cold_seconds": warm.get("cold_seconds"),
+                "warm_seconds": warm.get("warm_seconds"),
+                "speedup": warm.get("speedup"),
+            }
+        else:
+            line["warm_start"] = {"error": warm.get("error")}
+    path = Path(path)
+    with path.open("a", encoding="utf-8") as handle:
+        json.dump(line, handle, sort_keys=True, separators=(",", ":"))
         handle.write("\n")
     return path
 

@@ -4,7 +4,11 @@ One JSON file per (spec hash, source fingerprint) pair under
 ``.repro-cache/``.  Entries store the byte-exact report text plus the
 timing metadata of the original run, so a cache hit reproduces exactly
 what a live run would have printed.  Stale entries (older fingerprints)
-are left on disk and simply never match; ``clear()`` removes everything.
+never match on load and are reclaimed by the LRU cap: the store evicts
+the least-recently-used entries beyond ``max_entries`` (hits refresh
+recency via mtime), so the cache stays bounded across source changes
+instead of growing a dead file per edited line of simulator code.
+``repro cache --stats/--clear`` exposes the same accounting on the CLI.
 """
 
 from __future__ import annotations
@@ -18,12 +22,23 @@ __all__ = ["ResultCache"]
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Default LRU cap.  A full nine-figure sweep is a few dozen cells, so
+#: 256 holds several sweeps' worth of results across source revisions.
+DEFAULT_MAX_RESULTS = 256
+
 
 class ResultCache:
     """Spec-hash + fingerprint keyed store of finished run results."""
 
-    def __init__(self, directory: Path | str = DEFAULT_CACHE_DIR) -> None:
+    def __init__(
+        self,
+        directory: Path | str = DEFAULT_CACHE_DIR,
+        max_entries: int | None = DEFAULT_MAX_RESULTS,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive (or None)")
         self.directory = Path(directory)
+        self.max_entries = max_entries
 
     def _path(self, spec_hash: str, fingerprint: str) -> Path:
         return self.directory / f"{spec_hash}-{fingerprint}.json"
@@ -41,7 +56,13 @@ class ResultCache:
         if entry.get("fingerprint") != fingerprint:
             return None
         result = entry.get("result")
-        return result if isinstance(result, dict) else None
+        if not isinstance(result, dict):
+            return None
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
+        return result
 
     def store(
         self,
@@ -64,19 +85,48 @@ class ResultCache:
             json.dump(entry, handle, indent=2, sort_keys=True)
             handle.write("\n")
         tmp.replace(path)
+        self._evict()
         return path
+
+    def _entries(self) -> list[Path]:
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.json"))
+
+    def _evict(self) -> int:
+        """Drop least-recently-used entries beyond ``max_entries``."""
+        if self.max_entries is None:
+            return 0
+        entries = self._entries()
+        if len(entries) <= self.max_entries:
+            return 0
+        removed = 0
+        by_age = sorted(entries, key=lambda p: (p.stat().st_mtime, p.name))
+        for path in by_age[: len(entries) - self.max_entries]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""
         removed = 0
-        if not self.directory.is_dir():
-            return 0
-        for path in sorted(self.directory.glob("*.json")):
+        for path in self._entries():
             path.unlink()
             removed += 1
         return removed
 
+    def stats(self) -> dict[str, Any]:
+        """Entry count and on-disk footprint for ``repro cache --stats``."""
+        entries = self._entries()
+        return {
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "bytes": sum(path.stat().st_size for path in entries),
+            "max_entries": self.max_entries,
+        }
+
     def __len__(self) -> int:
-        if not self.directory.is_dir():
-            return 0
-        return sum(1 for _ in self.directory.glob("*.json"))
+        return len(self._entries())

@@ -42,12 +42,17 @@ def _run_kwargs(cell: Mapping[str, Any]) -> dict[str, Any]:
 
 
 def execute_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
-    """Run one spec (as a plain-dict payload) and return a result dict."""
+    """Run one spec (as a plain-dict payload) and return a result dict.
+
+    A ``warm_start_dir`` key in the payload (set by the pool's
+    warm-start batching, not part of the spec's content hash) routes
+    the run through that directory's checkpoint store.
+    """
     from repro.runner.spec import RunSpec
 
     spec = RunSpec.from_payload(payload)
     try:
-        return execute_spec(spec)
+        return execute_spec(spec, warm_start_dir=payload.get("warm_start_dir"))
     except Exception as exc:  # noqa: BLE001 - isolation is the point
         return {
             "ok": False,
@@ -56,16 +61,24 @@ def execute_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
         }
 
 
-def execute_spec(spec: "Any") -> dict[str, Any]:
+def execute_spec(spec: "Any", warm_start_dir: str | None = None) -> dict[str, Any]:
     """Run one :class:`RunSpec` in-process and time it."""
-    from repro.experiments.common import config_overrides
+    from contextlib import nullcontext
+
+    from repro.experiments.common import config_overrides, warm_start
     from repro.sim.engine import dispatched_total
 
+    if warm_start_dir is not None:
+        from repro.runner.checkpoint import CheckpointStore
+
+        warming = warm_start(CheckpointStore(warm_start_dir))
+    else:
+        warming = nullcontext()
     module = figure_module(spec.figure)
     kwargs = _run_kwargs(spec.cell)
     events_before = dispatched_total()
     started = time.perf_counter()
-    with config_overrides(**dict(spec.overrides)):
+    with config_overrides(**dict(spec.overrides)), warming:
         result = module.run(quick=spec.quick, seed=spec.seed, **kwargs)
     wall = time.perf_counter() - started
     events = dispatched_total() - events_before

@@ -218,6 +218,38 @@ class TestPerf002HeapqConfinement:
         assert codes("import heapq  # repro: noqa[PERF002]\n") == []
 
 
+class TestPerf003SerializationConfinement:
+    def test_pickle_import_in_sim_module_fires(self):
+        assert codes("import pickle\n") == ["PERF003"]
+
+    def test_from_import_fires(self):
+        assert codes("from pickle import dumps\n") == ["PERF003"]
+
+    def test_other_serializers_fire(self):
+        assert codes("import marshal\n", REPRO_PATH) == ["PERF003"]
+        assert codes("import shelve\n", REPRO_PATH) == ["PERF003"]
+        assert codes("import dill\n", REPRO_PATH) == ["PERF003"]
+
+    def test_checkpoint_module_is_allowed(self):
+        assert codes(
+            "import pickle\n", "src/repro/runner/checkpoint.py"
+        ) == []
+
+    def test_other_runner_modules_fire(self):
+        assert codes(
+            "import pickle\n", "src/repro/runner/pool.py"
+        ) == ["PERF003"]
+
+    def test_tests_are_out_of_scope(self):
+        assert codes("import pickle\n", TEST_PATH) == []
+
+    def test_json_is_exempt(self):
+        assert codes("import json\n", REPRO_PATH) == []
+
+    def test_noqa_suppresses(self):
+        assert codes("import pickle  # repro: noqa[PERF003]\n") == []
+
+
 class TestNoqaForms:
     def test_bare_noqa_suppresses_everything(self):
         assert codes("seed = hash(when / 2)  # repro: noqa\n") == []
@@ -243,7 +275,7 @@ class TestDriver:
     def test_registry_covers_documented_rules(self):
         assert set(RULES) == {
             "DET001", "DET002", "DET003", "DET004", "DET005", "SIM001",
-            "PERF001", "PERF002",
+            "PERF001", "PERF002", "PERF003",
         }
 
     def test_main_exit_codes(self, tmp_path: Path, capsys):

@@ -19,13 +19,18 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments import fig05_proportional, fig06_work_conserving
+from repro.experiments import (
+    fig05_proportional,
+    fig06_work_conserving,
+    fig07_source_and_target,
+)
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
 CASES = [
     ("fig05_quick_seed0.txt", fig05_proportional),
     ("fig06_quick_seed0.txt", fig06_work_conserving),
+    ("fig07_quick_seed0.txt", fig07_source_and_target),
 ]
 
 

@@ -1,0 +1,62 @@
+"""Fork-equals-cold: warm-started runs are byte-identical to cold runs.
+
+The checkpoint subsystem's contract (DESIGN.md §8) is that forking a
+measurement run from a warm-up snapshot produces the same bytes as
+simulating the whole run cold.  These tests drive each figure three
+times — cold, warm-populating (simulates the warm-up, writes the
+checkpoint, continues), and warm-restoring (forks from the stored
+snapshot) — and require all three reports identical.  fig07 covers the
+multi-system case: one ``run()`` builds six systems (mechanism x mix),
+so a single invocation exercises six distinct warm-up prefixes.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig05_proportional,
+    fig06_work_conserving,
+    fig07_source_and_target,
+)
+from repro.experiments.common import warm_start
+from repro.runner.checkpoint import CheckpointStore
+
+MODULES = [fig05_proportional, fig06_work_conserving, fig07_source_and_target]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda m: m.__name__.rsplit(".", 1)[-1]
+)
+def test_warm_started_report_is_byte_identical(module, tmp_path):
+    cold = module.run(quick=True, seed=0).report()
+    store = CheckpointStore(tmp_path)
+    with warm_start(store):
+        populating = module.run(quick=True, seed=0).report()
+        assert len(store) > 0, "populating run stored no checkpoint"
+        restoring = module.run(quick=True, seed=0).report()
+    assert populating == cold, (
+        "checkpoint-populating run diverged from the cold run; splitting "
+        "the warm-up from the measurement phase is not bit-transparent"
+    )
+    assert restoring == cold, (
+        "checkpoint-restored run diverged from the cold run; snapshot/"
+        "restore loses or perturbs simulator state"
+    )
+
+
+def test_distinct_seeds_do_not_share_checkpoints(tmp_path):
+    store = CheckpointStore(tmp_path)
+    with warm_start(store):
+        fig05_proportional.run(quick=True, seed=0)
+        seed1 = fig05_proportional.run(quick=True, seed=1).report()
+    # the seed is part of the warm-up prefix: two seeds, two checkpoints
+    assert len(store) == 2
+    assert seed1 == fig05_proportional.run(quick=True, seed=1).report()
+
+
+def test_measurement_knob_shares_one_checkpoint(tmp_path):
+    """fig05's measure_epochs cells share a warm-up prefix."""
+    store = CheckpointStore(tmp_path)
+    with warm_start(store):
+        fig05_proportional.run(quick=True, seed=0, measure_epochs=15)
+        fig05_proportional.run(quick=True, seed=0, measure_epochs=30)
+    assert len(store) == 1

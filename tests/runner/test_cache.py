@@ -41,6 +41,61 @@ class TestResultCache:
         assert cache.clear() == 1
         assert len(cache) == 0
 
+    def test_lru_eviction_drops_oldest(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path / "cache", max_entries=2)
+        specs = [RunSpec(figure="fig05", seed=seed) for seed in range(3)]
+        for age, spec in enumerate(specs[:2]):
+            path = cache.store(
+                spec.spec_hash(), "f" * 16, spec.canonical_json(), {"ok": True}
+            )
+            os.utime(path, (age, age))  # pin distinct, old mtimes
+        cache.store(
+            specs[2].spec_hash(), "f" * 16, specs[2].canonical_json(), {"ok": True}
+        )
+        assert len(cache) == 2
+        assert cache.load(specs[0].spec_hash(), "f" * 16) is None
+        assert cache.load(specs[2].spec_hash(), "f" * 16) is not None
+
+    def test_load_refreshes_recency(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path / "cache", max_entries=2)
+        specs = [RunSpec(figure="fig05", seed=seed) for seed in range(3)]
+        for age, spec in enumerate(specs[:2]):
+            path = cache.store(
+                spec.spec_hash(), "f" * 16, spec.canonical_json(), {"ok": True}
+            )
+            os.utime(path, (age, age))
+        # a hit on the oldest entry makes it the newest...
+        assert cache.load(specs[0].spec_hash(), "f" * 16) is not None
+        cache.store(
+            specs[2].spec_hash(), "f" * 16, specs[2].canonical_json(), {"ok": True}
+        )
+        # ...so the eviction takes the other entry instead
+        assert cache.load(specs[0].spec_hash(), "f" * 16) is not None
+        assert cache.load(specs[1].spec_hash(), "f" * 16) is None
+
+    def test_unbounded_when_cap_disabled(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", max_entries=None)
+        for seed in range(5):
+            spec = RunSpec(figure="fig05", seed=seed)
+            cache.store(
+                spec.spec_hash(), "f" * 16, spec.canonical_json(), {"ok": True}
+            )
+        assert len(cache) == 5
+
+    def test_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.stats()["entries"] == 0
+        spec = RunSpec(figure="fig05")
+        cache.store(spec.spec_hash(), "f" * 16, spec.canonical_json(), {"ok": True})
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["directory"] == str(tmp_path / "cache")
+
 
 class TestSourceFingerprint:
     def test_stable_within_process(self):

@@ -8,7 +8,7 @@ from repro.runner.spec import RunSpec, specs_for_figure
 class TestSequentialSweep:
     def test_runs_and_caches(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
-        specs = specs_for_figure("fig05", quick=True)
+        specs = specs_for_figure("fig05", quick=True)[:1]
         outcomes = run_specs(specs, workers=1, cache=cache)
         assert [o.ok for o in outcomes] == [True]
         assert not outcomes[0].cached
@@ -22,7 +22,7 @@ class TestSequentialSweep:
 
     def test_no_cache_flag_reruns_but_refreshes(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
-        specs = specs_for_figure("fig05", quick=True)
+        specs = specs_for_figure("fig05", quick=True)[:1]
         run_specs(specs, cache=cache)
         fresh = run_specs(specs, cache=cache, use_cache=False)
         assert not fresh[0].cached
@@ -50,6 +50,56 @@ class TestSequentialSweep:
         outcomes = run_specs([base, tweaked], cache=cache)
         assert all(o.ok for o in outcomes)
         assert outcomes[0].result["report"] != outcomes[1].result["report"]
+
+
+class TestWarmStartSweep:
+    #: Tiny epochs so each cell's simulated window stays in the
+    #: milliseconds; the grouping logic under test is scale-free.
+    OVERRIDES = {"epoch_cycles": 400}
+
+    def _specs(self, measure_lengths, seed=0):
+        return [
+            RunSpec(
+                figure="fig05",
+                cell={"measure_epochs": length},
+                seed=seed,
+                overrides=self.OVERRIDES,
+            )
+            for length in measure_lengths
+        ]
+
+    def test_group_key_ignores_measurement_knobs(self):
+        short, long = self._specs([5, 10])
+        assert short.spec_hash() != long.spec_hash()
+        assert short.warmup_group_key() == long.warmup_group_key()
+
+    def test_group_key_separates_prefix_changes(self):
+        (base,) = self._specs([5])
+        (other_seed,) = self._specs([5], seed=1)
+        assert base.warmup_group_key() != other_seed.warmup_group_key()
+        tweaked = RunSpec(
+            figure="fig05",
+            cell={"measure_epochs": 5},
+            overrides={"epoch_cycles": 800},
+        )
+        assert base.warmup_group_key() != tweaked.warmup_group_key()
+
+    def test_warm_started_sweep_matches_cold(self, tmp_path):
+        specs = self._specs([5, 8, 11])
+        cold = run_specs(specs, workers=1)
+        warm = run_specs(
+            specs, workers=1, warm_start_dir=str(tmp_path / "ckpt")
+        )
+        assert [o.ok for o in cold] == [True, True, True]
+        assert [o.ok for o in warm] == [True, True, True]
+        for cold_outcome, warm_outcome in zip(cold, warm):
+            assert (
+                warm_outcome.result["report"] == cold_outcome.result["report"]
+            )
+        # all three cells shared one warm-up prefix -> one checkpoint
+        from repro.runner.checkpoint import CheckpointStore
+
+        assert len(CheckpointStore(tmp_path / "ckpt")) == 1
 
 
 class TestParallelSweep:

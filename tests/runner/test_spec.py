@@ -47,10 +47,18 @@ class TestSpecsForFigure:
         assert len({spec.spec_hash() for spec in specs}) == 6
 
     def test_single_cell_figures(self):
-        for figure in ("fig05", "fig06", "fig08"):
+        for figure in ("fig06", "fig08"):
             specs = specs_for_figure(figure, quick=True)
             assert len(specs) == 1
             assert specs[0].cell == {}
+
+    def test_fig05_measurement_grid(self):
+        """fig05 sweeps the measurement window; all cells share one
+        warm-up prefix, so a warm-started sweep pays warm-up once."""
+        specs = specs_for_figure("fig05", quick=True)
+        assert len(specs) == 9
+        assert len({spec.spec_hash() for spec in specs}) == 9
+        assert len({spec.warmup_group_key() for spec in specs}) == 1
 
     def test_every_figure_expands(self):
         from repro.cli import EXPERIMENTS
