@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-import numpy as np
-
 __all__ = [
     "allocation_error",
     "bandwidth_shares",
@@ -88,9 +86,30 @@ def weighted_slowdown(
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
-    """Percentile of a sample list (q in [0, 100]); 0.0 for empty input."""
+    """Percentile of a sample list (q in [0, 100]); 0.0 for empty input.
+
+    Linear interpolation between closest ranks (the ``method="linear"``
+    definition shared by ``numpy.percentile`` and inclusive
+    ``statistics.quantiles``): the rank of ``q`` is ``q/100 * (n - 1)``
+    and the result interpolates between the floor and ceiling order
+    statistics.  Spelled out in exact index arithmetic rather than
+    delegated, so the endpoint cases are inspectable: q=0 is the
+    minimum, q=100 the maximum (no ``rank+1`` read past the end), and a
+    single sample is returned as-is for every q.
+    """
     if not 0 <= q <= 100:
         raise ValueError("q must be in [0, 100]")
-    if len(samples) == 0:
+    n = len(samples)
+    if n == 0:
         return 0.0
-    return float(np.percentile(np.asarray(samples, dtype=float), q))
+    ordered = sorted(float(value) for value in samples)
+    if n == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (n - 1)
+    lower = int(rank)
+    if lower >= n - 1:
+        # q == 100 exactly (or float rounding drove rank to n-1):
+        # interpolating would index ordered[n], so return the maximum
+        return ordered[-1]
+    fraction = rank - lower
+    return ordered[lower] + (ordered[lower + 1] - ordered[lower]) * fraction

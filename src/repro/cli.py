@@ -9,6 +9,8 @@ Usage::
                           [--warm-start]
     python -m repro checkpoint fig05 [--quick] [--seed N] | --stats | --clear
     python -m repro cache [--stats] [--clear]
+    python -m repro trace fig05 [--quick] [--seed N] [--output PATH]
+                          [--buffer N] [--metrics PATH] [--sanitize]
     python -m repro bench [figs ...] [--quick] [--check BASELINE]
                           [--repeat N] [--update] [--no-history]
     python -m repro profile fig05 [--quick] [--top N] [--output PATH]
@@ -21,7 +23,10 @@ Usage::
 ``sweep --warm-start`` simulates each warm-up prefix once and forks the
 remaining cells from its checkpoint (:mod:`repro.runner.checkpoint`);
 ``checkpoint`` pre-populates those snapshots, and ``cache`` reports or
-clears everything under ``.repro-cache/``.
+clears everything under ``.repro-cache/`` (plus any tolerated cache I/O
+warnings counted by :mod:`repro.obs.warnings`).  ``trace`` re-runs one
+experiment with the request tracer attached (:mod:`repro.obs.trace`) and
+writes Chrome trace-event JSON viewable in Perfetto or chrome://tracing.
 
 Each experiment prints the same report table/series its benchmark asserts
 against; see EXPERIMENTS.md for the paper-vs-measured record.
@@ -200,6 +205,7 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.obs.warnings import warning_counts
     from repro.runner import ResultCache
     from repro.runner.checkpoint import CheckpointStore
 
@@ -213,6 +219,58 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                         (store.stats(), "checkpoint(s)")):
         print(f"{stats['directory']}: {stats['entries']} {kind}, "
               f"{stats['bytes']:,} bytes (cap {stats['max_entries']})")
+    warnings = warning_counts()
+    if warnings:
+        print("warnings (tolerated I/O failures this process):")
+        for name in sorted(warnings):
+            print(f"  {name}: {warnings[name]}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import JsonlSink, RequestTracer, write_chrome_trace
+    from repro.experiments.common import sanitized, traced
+
+    if args.experiment not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        print(f"unknown experiment {args.experiment!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    runner, description = EXPERIMENTS[args.experiment]
+    mode = "quick" if args.quick else "full"
+    print(f"== {args.experiment} ({mode}, traced): {description}")
+    tracer = RequestTracer(capacity=args.buffer)
+    sinks = []
+    metrics_sink = None
+    if args.metrics is not None:
+        metrics_sink = JsonlSink(args.metrics)
+        sinks.append(metrics_sink)
+    started = time.perf_counter()
+    try:
+        with sanitized(args.sanitize), traced(tracer, sinks):
+            result = runner(quick=args.quick, seed=args.seed)
+    finally:
+        if metrics_sink is not None:
+            metrics_sink.close()
+    elapsed = time.perf_counter() - started
+    print(result.report())
+    output = (
+        Path(args.output)
+        if args.output is not None
+        else Path(f"trace_{args.experiment}.json")
+    )
+    document = tracer.to_chrome_trace()
+    write_chrome_trace(output, document)
+    print(f"[{elapsed:.1f}s]")
+    print(f"[{tracer.recorded:,} transitions recorded, "
+          f"{tracer.dropped:,} dropped by the ring, "
+          f"{len(document['traceEvents']):,} trace events]")
+    print(f"[wrote {output} — open in Perfetto or chrome://tracing]")
+    if metrics_sink is not None:
+        print(f"[wrote {metrics_sink.published} epoch record(s) "
+              f"to {args.metrics}]")
     return 0
 
 
@@ -418,6 +476,27 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--clear", action="store_true",
                        help="delete every cached result and checkpoint")
     cache.set_defaults(func=_cmd_cache)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment with the request tracer attached and "
+             "export Chrome trace-event JSON",
+    )
+    trace.add_argument("experiment", help="experiment name, e.g. fig05")
+    trace.add_argument("--quick", action="store_true",
+                       help="reduced scale (seconds instead of minutes)")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--output", default=None,
+                       help="trace JSON path (default: trace_<fig>.json)")
+    trace.add_argument("--buffer", type=int, default=65536,
+                       help="ring-buffer capacity in transitions; the trace "
+                            "keeps the last N (default 65536)")
+    trace.add_argument("--metrics", default=None,
+                       help="also stream per-epoch metric records to this "
+                            "JSONL file")
+    trace.add_argument("--sanitize", action="store_true",
+                       help="enable the runtime invariant sanitizer")
+    trace.set_defaults(func=_cmd_trace)
 
     bench = sub.add_parser(
         "bench", help="measure wall-clock and events/sec per figure"

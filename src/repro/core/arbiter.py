@@ -74,6 +74,9 @@ class PriorityArbiter(SchedulingPolicy):
         self._clocks: dict[int, int] = {}
         self._last_picked_deadline = 0
         self.capped_deadlines = 0
+        # times the row-hit preference served a request past a pending
+        # earlier deadline (the open-page fairness/efficiency trade)
+        self.deadline_inversions = 0
 
     # ------------------------------------------------------------------
     # SchedulingPolicy interface
@@ -108,6 +111,13 @@ class PriorityArbiter(SchedulingPolicy):
             if row_hits:
                 pool = row_hits
         req = _earliest_deadline(pool) if len(pool) > 1 else pool[0]
+        if pool is not candidates:
+            # row-hit filtering may have hidden an earlier deadline; count
+            # it so the efficiency-vs-priority trade is observable (this
+            # branch never runs under the default closed-page policy)
+            overall = _earliest_deadline(candidates)
+            if overall.virtual_deadline < req.virtual_deadline:
+                self.deadline_inversions += 1
         if req.virtual_deadline > self._last_picked_deadline:
             self._last_picked_deadline = req.virtual_deadline
         return req

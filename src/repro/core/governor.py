@@ -46,6 +46,8 @@ class SystemMonitor:
         self.dm = config.dm_init
         self.e = 0
         self.rate_direction_up = True  # "up" = driving more traffic (M falling)
+        self.epochs = 0  # heartbeats observed (obs counter)
+        self.direction_flips = 0  # SAT direction reversals (obs counter)
 
     @property
     def phase(self) -> str:
@@ -57,6 +59,7 @@ class SystemMonitor:
     def on_epoch(self, saturated: bool) -> int:
         """Advance one epoch; returns the new multiplier M."""
         config = self._config
+        self.epochs += 1
         direction_up = not saturated
         if direction_up == self.rate_direction_up:
             self.e += 1
@@ -66,6 +69,7 @@ class SystemMonitor:
             self.e = 0
             self.dm = max(1, self.dm >> 2)
             self.rate_direction_up = direction_up
+            self.direction_flips += 1
         if saturated:
             self.m = min(self.m + self.dm, config.m_max)
         else:

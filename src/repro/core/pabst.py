@@ -246,6 +246,54 @@ class PabstMechanism(QoSMechanism):
             return governor.multiplier
         return -1
 
+    def register_obs(self, registry) -> None:
+        """Expose pacer/governor/arbiter state on the obs registry.
+
+        All providers read counters the components already maintain; the
+        only naming subtlety is the per-controller mode, where pacers
+        and governors are keyed ``(core, mc)`` and the metric paths gain
+        an ``mc`` segment.
+        """
+
+        def pacer_obs(name: str, pacer: Pacer) -> None:
+            registry.register_counter(f"{name}.released", pacer, "released")
+            registry.register_counter(f"{name}.tokens_stalled", pacer, "throttled")
+            registry.register_counter(f"{name}.uncharges", pacer, "uncharges")
+            registry.register_counter(
+                f"{name}.writeback_charges", pacer, "writeback_charges"
+            )
+            registry.register_gauge(f"{name}.blocked", pacer, "blocked_count")
+
+        def governor_obs(name: str, governor: Governor) -> None:
+            registry.register_gauge(f"{name}.multiplier", governor, "multiplier")
+            registry.register_counter(f"{name}.epochs", governor.monitor, "epochs")
+            registry.register_counter(
+                f"{name}.direction_flips", governor.monitor, "direction_flips"
+            )
+
+        for core_id, pacer in sorted(self.pacers.items()):
+            pacer_obs(f"pacer.c{core_id}", pacer)
+        for (core_id, mc_id), pacer in sorted(self.mc_pacers.items()):
+            pacer_obs(f"pacer.c{core_id}.mc{mc_id}", pacer)
+        for core_id, governor in sorted(self.governors.items()):
+            governor_obs(f"governor.c{core_id}", governor)
+        for (core_id, mc_id), governor in sorted(self.mc_governors.items()):
+            governor_obs(f"governor.c{core_id}.mc{mc_id}", governor)
+        for mc_id, arbiter in sorted(self.arbiters.items()):
+            registry.register_counter(
+                f"arbiter.mc{mc_id}.capped_deadlines", arbiter, "capped_deadlines"
+            )
+            registry.register_counter(
+                f"arbiter.mc{mc_id}.deadline_inversions",
+                arbiter,
+                "deadline_inversions",
+            )
+            registry.register_gauge(
+                f"arbiter.mc{mc_id}.last_picked_deadline",
+                arbiter,
+                "last_picked_deadline",
+            )
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------

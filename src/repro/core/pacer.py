@@ -54,6 +54,8 @@ class Pacer:
         self._release_token = 0
         self.released = 0
         self.throttled = 0
+        self.uncharges = 0
+        self.writeback_charges = 0
         self._demand_since_epoch = 0
 
     # ------------------------------------------------------------------
@@ -113,12 +115,14 @@ class Pacer:
 
     def uncharge(self) -> None:
         """Undo one charge: the request was filtered by the shared cache."""
+        self.uncharges += 1
         self._cnext_scaled -= self._period_num
         self._clamp_credit()
         self._reschedule()
 
     def charge_writeback(self) -> None:
         """Charge one extra period for an L3 writeback this class caused."""
+        self.writeback_charges += 1
         self._charge()
         self._reschedule()
 

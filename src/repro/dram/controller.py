@@ -180,6 +180,8 @@ class MemoryController:
         self.policy.on_accept(req, now)
         if self._engine.sanitizer is not None:
             self._engine.sanitizer.on_accept(req)
+        if self._engine.tracer is not None:
+            self._engine.tracer.arrived(req)
         # inlined _note_arrival()
         if self._inflight == 0:
             self._active_since = now
@@ -370,6 +372,8 @@ class MemoryController:
         req.issued_at = now
         if self._engine.sanitizer is not None:
             self._engine.sanitizer.on_issue(req)
+        if self._engine.tracer is not None:
+            self._engine.tracer.issued(req)
         self._stats.bus_busy_cycles += burst
         if req.is_memory_write:
             queue = self.write_queue
@@ -442,6 +446,8 @@ class MemoryController:
         req.completed_at = now
         if self._engine.sanitizer is not None:
             self._engine.sanitizer.on_complete(req)
+        if self._engine.tracer is not None:
+            self._engine.tracer.completed(req)
         self._stats.record_completion(req)
         # inlined _note_retirement()
         self._inflight -= 1

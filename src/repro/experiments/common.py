@@ -25,6 +25,7 @@ from repro.sim.system import System
 from repro.workloads.base import Workload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import RequestTracer
     from repro.runner.checkpoint import Checkpoint, CheckpointStore
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "make_mechanism",
     "run_system",
     "sanitized",
+    "traced",
     "warm_start",
 ]
 
@@ -108,6 +110,37 @@ def warm_start(store: "CheckpointStore") -> Iterator[None]:
         _default_checkpoint_store = previous
 
 
+# Request tracer and epoch metric sinks attached to every system built
+# inside a :func:`traced` block.  Fourth instance of the ambient-default
+# pattern: `repro trace fig05` wires observability into a whole figure
+# run without the fig* modules knowing the tracer exists.
+_default_tracer: "RequestTracer | None" = None
+_default_sinks: tuple = ()
+
+
+@contextmanager
+def traced(
+    tracer: "RequestTracer | None" = None, sinks: Sequence = ()
+) -> Iterator[None]:
+    """Attach observability to every system built inside the block.
+
+    ``tracer`` (a :class:`repro.obs.trace.RequestTracer`) is installed
+    as each built engine's lifecycle recorder; ``sinks`` (objects with
+    ``publish(record)``) receive every epoch metric record the systems'
+    ``Stats.close_epoch`` produces.  A figure module that builds several
+    systems feeds them all into the same tracer/sinks — request ids are
+    process-global, so transition streams never collide.
+    """
+    global _default_tracer, _default_sinks
+    previous = (_default_tracer, _default_sinks)
+    _default_tracer = tracer
+    _default_sinks = tuple(sinks)
+    try:
+        yield
+    finally:
+        _default_tracer, _default_sinks = previous
+
+
 MECHANISMS: dict[str, Callable[[], QoSMechanism]] = {
     "none": NoQosMechanism,
     "source-only": SourceOnlyMechanism,
@@ -173,7 +206,7 @@ def build_system(
             registry.assign_core(next_core, spec.qos_id)
             workloads[next_core] = spec.workload_factory()
             next_core += 1
-    return System(
+    system = System(
         config,
         registry,
         workloads,
@@ -181,7 +214,11 @@ def build_system(
         seed=seed,
         sample_latencies=sample_latencies,
         sanitize=_default_sanitize if sanitize is None else sanitize,
+        tracer=_default_tracer,
     )
+    for sink in _default_sinks:
+        system.stats.add_sink(sink)
+    return system
 
 
 @dataclass

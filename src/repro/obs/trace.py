@@ -1,0 +1,292 @@
+"""Request tracing: ring-buffered lifecycle recorder + Chrome trace export.
+
+A :class:`RequestTracer` attached to an engine (``engine.tracer = ...``)
+records one fixed-shape tuple per :class:`~repro.sim.records.MemoryRequest`
+lifecycle transition — created, released, arrived at a controller,
+issued to a bank, completed.  The hook sites sit next to the sanitizer
+hooks in ``sim/system.py`` and ``dram/controller.py``; when no tracer is
+attached each site costs one attribute load and an ``is None`` test.
+Fused read-return chains (``Engine.post_chain_at``) are covered for
+free: the controller stamps ``completed_at`` at bank-service time — the
+first hop of the chain — and the tracer records at the stamp sites, so
+fused and unfused requests produce identical transition streams.
+
+The buffer is a bounded ring (``collections.deque(maxlen=...)``): a
+trace of an arbitrarily long run keeps the *last* ``capacity``
+transitions and :attr:`RequestTracer.dropped` counts what fell off.
+
+Export is Chrome trace-event JSON (the ``{"traceEvents": [...]}`` form),
+loadable in Perfetto or ``chrome://tracing``.  Tracks:
+
+* **pid 1 — QoS classes** (one thread lane per ``qos_id``): ``pacer``
+  spans (created → released), ``noc`` spans (released → arrived), and
+  ``l3`` spans (released → completed) for shared-cache hits;
+* **pid 2 — memory controllers** (one lane per ``mc_id``): ``queue``
+  spans (arrived → issued) and ``service`` spans (issued → completed).
+
+Timestamps are engine cycles emitted directly as the trace's
+microsecond field — 1 cycle renders as 1 µs, which only rescales the
+time axis.  :func:`validate_chrome_trace` checks a document against the
+subset of the trace-event schema the exporter emits (and CI enforces on
+the ``repro trace fig05 --quick`` artifact).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.records import MemoryRequest
+
+__all__ = [
+    "RequestTracer",
+    "TRACE_STAGES",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: Transition codes, in lifecycle order (indices into TRACE_STAGES).
+_CREATED, _RELEASED, _ARRIVED, _ISSUED, _COMPLETED = range(5)
+
+#: Stage names matching the transition codes above.
+TRACE_STAGES = ("created", "released", "arrived_mc", "issued", "completed")
+
+#: Process ids of the two track groups in the exported trace.
+_QOS_PID = 1
+_MC_PID = 2
+
+
+class RequestTracer:
+    """Bounded ring buffer of request lifecycle transitions.
+
+    Each transition is one tuple ``(stage, req_id, cycle, qos_id,
+    core_id, mc_id, is_read, l3_hit)``; the recording methods read the
+    timestamp the caller just stamped on the request, so they take no
+    clock argument and cannot disagree with the request's own record.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._buffer: deque[tuple] = deque(maxlen=capacity)
+        self.recorded = 0
+
+    # ------------------------------------------------------------------
+    # recording hooks (one per lifecycle stage)
+    # ------------------------------------------------------------------
+    def created(self, req: "MemoryRequest") -> None:
+        self.recorded += 1
+        self._buffer.append(
+            (_CREATED, req.req_id, req.created_at, req.qos_id,
+             req.core_id, req.mc_id, req.is_read, req.l3_hit)
+        )
+
+    def released(self, req: "MemoryRequest") -> None:
+        self.recorded += 1
+        self._buffer.append(
+            (_RELEASED, req.req_id, req.released_at, req.qos_id,
+             req.core_id, req.mc_id, req.is_read, req.l3_hit)
+        )
+
+    def arrived(self, req: "MemoryRequest") -> None:
+        self.recorded += 1
+        self._buffer.append(
+            (_ARRIVED, req.req_id, req.arrived_mc_at, req.qos_id,
+             req.core_id, req.mc_id, req.is_read, req.l3_hit)
+        )
+
+    def issued(self, req: "MemoryRequest") -> None:
+        self.recorded += 1
+        self._buffer.append(
+            (_ISSUED, req.req_id, req.issued_at, req.qos_id,
+             req.core_id, req.mc_id, req.is_read, req.l3_hit)
+        )
+
+    def completed(self, req: "MemoryRequest") -> None:
+        self.recorded += 1
+        self._buffer.append(
+            (_COMPLETED, req.req_id, req.completed_at, req.qos_id,
+             req.core_id, req.mc_id, req.is_read, req.l3_hit)
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def dropped(self) -> int:
+        """Transitions evicted by the ring (recorded but no longer held)."""
+        return self.recorded - len(self._buffer)
+
+    def transitions(self) -> list[tuple]:
+        """The buffered transitions, oldest first."""
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self.recorded = 0
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """Render the buffer as a Chrome trace-event JSON document.
+
+        Spans are emitted for consecutive stage pairs both present in
+        the buffer; a request whose early transitions were evicted by
+        the ring contributes only the spans it still has both ends of.
+        """
+        stamps: dict[int, dict[int, tuple]] = {}
+        for transition in self._buffer:
+            stamps.setdefault(transition[1], {})[transition[0]] = transition
+        events: list[dict[str, Any]] = []
+        qos_lanes: set[int] = set()
+        mc_lanes: set[int] = set()
+
+        def span(name: str, pid: int, tid: int, start: int, end: int,
+                 req_id: int, core_id: int) -> None:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "request",
+                    "ph": "X",
+                    "ts": start,
+                    "dur": end - start,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"req": req_id, "core": core_id},
+                }
+            )
+
+        for req_id in sorted(stamps):
+            stages = stamps[req_id]
+            any_rec = next(iter(stages.values()))
+            qos_id, core_id = any_rec[3], any_rec[4]
+            l3_hit = any(rec[7] for rec in stages.values())
+            created = stages.get(_CREATED)
+            released = stages.get(_RELEASED)
+            arrived = stages.get(_ARRIVED)
+            issued = stages.get(_ISSUED)
+            completed = stages.get(_COMPLETED)
+            if created and released:
+                qos_lanes.add(qos_id)
+                span("pacer", _QOS_PID, qos_id,
+                     created[2], released[2], req_id, core_id)
+            if l3_hit:
+                if released and completed:
+                    qos_lanes.add(qos_id)
+                    span("l3", _QOS_PID, qos_id,
+                         released[2], completed[2], req_id, core_id)
+            elif released and arrived:
+                qos_lanes.add(qos_id)
+                span("noc", _QOS_PID, qos_id,
+                     released[2], arrived[2], req_id, core_id)
+            if arrived and issued:
+                mc_lanes.add(arrived[5])
+                span("queue", _MC_PID, arrived[5],
+                     arrived[2], issued[2], req_id, core_id)
+            if issued and completed:
+                mc_lanes.add(issued[5])
+                span("service", _MC_PID, issued[5],
+                     issued[2], completed[2], req_id, core_id)
+
+        metadata: list[dict[str, Any]] = []
+        for pid, label in ((_QOS_PID, "QoS classes"),
+                           (_MC_PID, "memory controllers")):
+            metadata.append(
+                {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                 "args": {"name": label}}
+            )
+        for qos_id in sorted(qos_lanes):
+            metadata.append(
+                {"name": "thread_name", "ph": "M", "pid": _QOS_PID,
+                 "tid": qos_id, "args": {"name": f"class {qos_id}"}}
+            )
+        for mc_id in sorted(mc_lanes):
+            metadata.append(
+                {"name": "thread_name", "ph": "M", "pid": _MC_PID,
+                 "tid": mc_id, "args": {"name": f"mc {mc_id}"}}
+            )
+        return {
+            "traceEvents": metadata + events,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "source": "repro.obs.trace",
+                "time_unit": "1 trace us = 1 simulated cycle",
+                "transitions_recorded": self.recorded,
+                "transitions_dropped": self.dropped,
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# schema validation + file output
+# ----------------------------------------------------------------------
+_KNOWN_PHASES = frozenset("XBEIiMNODPbensvRSTFC(),")
+
+
+def validate_chrome_trace(document: Mapping[str, Any]) -> int:
+    """Validate ``document`` against the Chrome trace-event JSON shape.
+
+    Enforces the object form (``traceEvents`` array) plus the
+    per-event field requirements for the phases this package emits:
+    complete events (``"X"``: name/ts/dur/pid/tid, integer timing,
+    non-negative duration) and metadata events (``"M"``: a recognized
+    name and an ``args.name`` payload).  Other phase letters are
+    accepted structurally so hand-edited traces still validate.
+
+    Returns the number of events checked; raises ``ValueError`` with
+    the offending event index on the first violation.
+    """
+    if not isinstance(document, Mapping):
+        raise ValueError("trace document must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document needs a 'traceEvents' array")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: events must be JSON objects")
+        phase = event.get("ph")
+        if not isinstance(phase, str) or phase not in _KNOWN_PHASES:
+            raise ValueError(f"{where}: unknown phase {phase!r}")
+        if phase == "X":
+            for key in ("name", "ts", "dur", "pid", "tid"):
+                if key not in event:
+                    raise ValueError(f"{where}: complete event missing {key!r}")
+            if not isinstance(event["name"], str):
+                raise ValueError(f"{where}: event name must be a string")
+            for key in ("ts", "dur", "pid", "tid"):
+                value = event[key]
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise ValueError(f"{where}: {key!r} must be a number")
+            if event["dur"] < 0:
+                raise ValueError(f"{where}: negative duration {event['dur']}")
+            if event["ts"] < 0:
+                raise ValueError(f"{where}: negative timestamp {event['ts']}")
+        elif phase == "M":
+            name = event.get("name")
+            if name not in ("process_name", "process_labels",
+                            "process_sort_index", "thread_name",
+                            "thread_sort_index"):
+                raise ValueError(f"{where}: unknown metadata event {name!r}")
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(f"{where}: metadata event needs args")
+    return len(events)
+
+
+def write_chrome_trace(path: Path | str, document: Mapping[str, Any]) -> Path:
+    """Validate and write a trace document; returns the path written."""
+    validate_chrome_trace(document)
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, separators=(",", ":"), sort_keys=True)
+        handle.write("\n")
+    return path

@@ -18,6 +18,8 @@ import os
 from pathlib import Path
 from typing import Any
 
+from repro.obs.warnings import obs_warn
+
 __all__ = ["ResultCache"]
 
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -60,8 +62,15 @@ class ResultCache:
             return None
         try:
             os.utime(path)  # refresh LRU recency
-        except OSError:
-            pass
+        except OSError as exc:
+            # tolerated (a read-only store still serves hits) but not
+            # silent: stale recency skews LRU eviction
+            obs_warn(
+                "cache.utime_failed",
+                "result cache could not refresh recency of %s: %s",
+                path,
+                exc,
+            )
         return result
 
     def store(
@@ -106,8 +115,13 @@ class ResultCache:
             try:
                 path.unlink()
                 removed += 1
-            except OSError:
-                pass
+            except OSError as exc:
+                obs_warn(
+                    "cache.evict_unlink_failed",
+                    "result cache could not evict %s: %s",
+                    path,
+                    exc,
+                )
         return removed
 
     def clear(self) -> int:

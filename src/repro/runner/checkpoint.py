@@ -45,6 +45,7 @@ from dataclasses import asdict, dataclass, is_dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from repro.obs.warnings import obs_warn
 from repro.runner.fingerprint import source_fingerprint
 from repro.sim.records import advance_request_ids, request_id_watermark
 
@@ -65,7 +66,9 @@ __all__ = [
 
 #: Bump when the envelope layout or the semantics of restored state
 #: change; old checkpoints then read as misses instead of garbage.
-CHECKPOINT_VERSION = 1
+#: v2: System grew the obs registry (``system.obs``) and the tracer
+#: engine slot — v1 snapshots unpickle without them, so they must miss.
+CHECKPOINT_VERSION = 2
 
 DEFAULT_CHECKPOINT_DIR = ".repro-cache/checkpoints"
 
@@ -140,6 +143,9 @@ def warmup_prefix_key(system: "System", warmup_epochs: int) -> dict[str, Any]:
         "mechanism": describe_component(system.mechanism),
         "sample_latencies": system.stats.sample_latencies,
         "sanitize": system.engine.sanitizer is not None,
+        # a tracer records during warm-up, so traced and untraced warm-ups
+        # are different prefixes even though the simulated state matches
+        "traced": system.engine.tracer is not None,
     }
 
 
@@ -321,8 +327,13 @@ class CheckpointStore:
             return None
         try:
             os.utime(path)  # refresh LRU recency
-        except OSError:
-            pass
+        except OSError as exc:
+            obs_warn(
+                "checkpoint.utime_failed",
+                "checkpoint store could not refresh recency of %s: %s",
+                path,
+                exc,
+            )
         return Checkpoint(
             prefix_hash=prefix_hash,
             payload=payload,
@@ -364,8 +375,13 @@ class CheckpointStore:
             try:
                 path.unlink()
                 removed += 1
-            except OSError:
-                pass
+            except OSError as exc:
+                obs_warn(
+                    "checkpoint.evict_unlink_failed",
+                    "checkpoint store could not evict %s: %s",
+                    path,
+                    exc,
+                )
         return removed
 
     def _entries(self) -> list[Path]:

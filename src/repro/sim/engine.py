@@ -64,6 +64,7 @@ from typing import TYPE_CHECKING, Any, Callable
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import RequestTracer
     from repro.sim.sanitizer import SimSanitizer
 
 __all__ = ["Engine", "Event", "SimulationError", "TimingWheel", "dispatched_total"]
@@ -161,6 +162,11 @@ class TimingWheel:
         self.dispatched = 0
         #: Opt-in runtime invariant checker (see ``repro.sim.sanitizer``).
         self.sanitizer: "SimSanitizer | None" = None
+        #: Opt-in request lifecycle recorder (see ``repro.obs.trace``).
+        #: Hook sites test ``is None`` and nothing else, so a run without
+        #: a tracer executes the same bytecode paths as before the slot
+        #: existed.
+        self.tracer: "RequestTracer | None" = None
 
     # ------------------------------------------------------------------
     # time

@@ -71,3 +71,12 @@ class QoSMechanism:
     def multiplier(self) -> int:
         """Current governor multiplier M, or -1 when not applicable."""
         return -1
+
+    def register_obs(self, registry) -> None:
+        """Register mechanism counters/gauges on the system's obs registry.
+
+        Called once by :class:`~repro.sim.system.System` right after
+        :meth:`attach`.  The baseline has nothing to report; mechanisms
+        with internal state (pacers, governors, arbiters) override this
+        — see :meth:`repro.core.pabst.PabstMechanism.register_obs`.
+        """

@@ -117,8 +117,21 @@ class SimSanitizer:
     def in_flight(self) -> int:
         return len(self._inflight)
 
-    def on_run_end(self) -> None:
-        """Verify request conservation once the run is finalized."""
+    def on_run_end(self, stats=None) -> None:
+        """Verify request conservation once the run is finalized.
+
+        When the run's :class:`~repro.sim.stats.Stats` is supplied, two
+        accounting invariants are checked on top of conservation:
+
+        * ``bus_busy_cycles <= mc_active_cycles`` — the data bus cannot
+          be busier than its controllers are active.  ``memory_efficiency``
+          deliberately does not clamp this ratio, so a double-count
+          surfaces here instead of saturating silently at 1.0;
+        * per class, every completed read was either stage-attributed or
+          explicitly counted unattributed (``reads_attributed +
+          reads_unattributed == reads_completed``), and no read of a
+          healthy run is unattributed.
+        """
         self.checks += 1
         if self.injected != self.completed + len(self._inflight):
             self._fail(
@@ -128,6 +141,31 @@ class SimSanitizer:
             )
         for req in self._inflight.values():
             self._check_lifecycle(req)
+        if stats is None:
+            return
+        self.checks += 1
+        if stats.bus_busy_cycles > stats.mc_active_cycles:
+            self._fail(
+                f"bus busy cycles exceed MC active cycles: "
+                f"bus_busy_cycles={stats.bus_busy_cycles} > "
+                f"mc_active_cycles={stats.mc_active_cycles} "
+                "(double-counted bus reservation?)"
+            )
+        for qos_id, cls in sorted(stats.classes.items()):
+            self.checks += 1
+            if cls.reads_attributed + cls.reads_unattributed != cls.reads_completed:
+                self._fail(
+                    f"class {qos_id} read attribution does not add up: "
+                    f"attributed={cls.reads_attributed} + "
+                    f"unattributed={cls.reads_unattributed} != "
+                    f"completed={cls.reads_completed}"
+                )
+            if cls.reads_unattributed:
+                self._fail(
+                    f"class {qos_id} completed {cls.reads_unattributed} "
+                    "read(s) with partial lifecycle stamps (stage "
+                    "attribution skipped) — a lifecycle-stamping bug"
+                )
 
     # ------------------------------------------------------------------
     # checkpoint-restore validation

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.streams import epoch_record
 from repro.sim.records import MemoryRequest
 
 __all__ = ["ClassStats", "EpochSample", "Stats"]
@@ -22,7 +23,11 @@ class ClassStats:
     The ``stage_*`` sums decompose DRAM-read latency along the request
     path (pacer wait, interconnect, controller queueing, bank+bus
     service); they cover only reads that reached memory with full
-    timestamps, counted by ``reads_attributed``.
+    timestamps, counted by ``reads_attributed``.  A read completed with
+    *partial* timestamps counts toward ``reads_unattributed`` instead —
+    in a healthy run that counter stays 0 (every read the controller
+    retires has the full stamp chain), so a nonzero value flags a
+    lifecycle-stamping bug and trips the sanitizer's run-end check.
     """
 
     qos_id: int
@@ -34,6 +39,7 @@ class ClassStats:
     read_latency_sum: int = 0
     read_latency_max: int = 0
     reads_attributed: int = 0
+    reads_unattributed: int = 0
     stage_pacer_sum: int = 0
     stage_noc_sum: int = 0
     stage_queue_sum: int = 0
@@ -90,6 +96,9 @@ class Stats:
         self.mc_active_cycles = 0
         self.requests_enqueued = 0
         self.requests_rejected = 0
+        # epoch metric sinks (repro.obs.streams); close_epoch publishes
+        # one record per sink per epoch boundary
+        self._sinks: list = []
 
     # ------------------------------------------------------------------
     # recording hooks
@@ -120,12 +129,25 @@ class Stats:
                 stats.read_latency_max = latency
             if self.sample_latencies:
                 self.read_latencies.setdefault(qos_id, []).append(latency)
-            if req.issued_at >= 0 and req.released_at >= 0:
+            # Attribution needs every intermediate stamp: a request with
+            # issued_at set but arrived_mc_at unset would otherwise fold
+            # the -1 sentinel into the noc/queue sums (they would still
+            # total the end-to-end latency, but the per-stage split would
+            # be silently wrong).  Partial-stamp reads are counted, not
+            # dropped, so reads_attributed + reads_unattributed ==
+            # reads_completed holds and the sanitizer can check it.
+            if (
+                req.released_at >= 0
+                and req.arrived_mc_at >= 0
+                and req.issued_at >= 0
+            ):
                 stats.reads_attributed += 1
                 stats.stage_pacer_sum += req.released_at - req.created_at
                 stats.stage_noc_sum += req.arrived_mc_at - req.released_at
                 stats.stage_queue_sum += req.issued_at - req.arrived_mc_at
                 stats.stage_service_sum += req.completed_at - req.issued_at
+            else:
+                stats.reads_unattributed += 1
         else:
             stats.bytes_written += req.size
             stats.writes_completed += 1
@@ -138,6 +160,18 @@ class Stats:
     # ------------------------------------------------------------------
     # epochs
     # ------------------------------------------------------------------
+    def add_sink(self, sink) -> None:
+        """Attach an epoch metric sink (anything with ``publish(record)``).
+
+        Each subsequent :meth:`close_epoch` publishes one
+        :func:`repro.obs.streams.epoch_record` to every attached sink.
+        """
+        self._sinks.append(sink)
+
+    @property
+    def sinks(self) -> tuple:
+        return tuple(self._sinks)
+
     def close_epoch(self, now: int, saturated: bool = False, multiplier: int = -1) -> EpochSample:
         """Snapshot per-class bytes since the previous epoch boundary."""
         sample = EpochSample(
@@ -151,6 +185,10 @@ class Stats:
         self.epochs.append(sample)
         self._epoch_bytes = {}
         self._last_epoch_end = now
+        if self._sinks:
+            record = epoch_record(sample)
+            for sink in self._sinks:
+                sink.publish(record)
         return sample
 
     # ------------------------------------------------------------------
@@ -169,10 +207,16 @@ class Stats:
         return self.class_stats(qos_id).total_bytes / total
 
     def memory_efficiency(self) -> float:
-        """Data-bus busy cycles over cycles with pending MC work (Fig. 12)."""
+        """Data-bus busy cycles over cycles with pending MC work (Fig. 12).
+
+        Deliberately unclamped: a ratio above 1.0 means ``bus_busy_cycles``
+        was double-counted (or active-cycle tracking lost time) and should
+        surface, not saturate at a plausible-looking 1.0.  The sanitizer
+        asserts ``bus_busy_cycles <= mc_active_cycles`` at run end.
+        """
         if self.mc_active_cycles == 0:
             return 0.0
-        return min(1.0, self.bus_busy_cycles / self.mc_active_cycles)
+        return self.bus_busy_cycles / self.mc_active_cycles
 
     def ipc(self, qos_id: int, cycles: int) -> float:
         """Instructions per cycle for a class over ``cycles``."""

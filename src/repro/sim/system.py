@@ -29,6 +29,8 @@ from repro.core.saturation import SaturationMonitor
 from repro.cpu.model import Core
 from repro.cpu.mshr import AllocationResult, MshrFile
 from repro.dram.controller import MemoryController
+from repro.obs.registry import Registry
+from repro.obs.trace import RequestTracer
 from repro.qos.classes import QoSRegistry
 from repro.qos.monitor import BandwidthMonitor
 from repro.sim.config import SystemConfig
@@ -55,6 +57,7 @@ class System:
         seed: int = 0,
         sample_latencies: bool = False,
         sanitize: bool = False,
+        tracer: RequestTracer | None = None,
     ) -> None:
         if not workloads:
             raise ValueError("need at least one core running a workload")
@@ -68,6 +71,8 @@ class System:
         self.engine = Engine(seed)
         if sanitize:
             self.engine.sanitizer = SimSanitizer()
+        if tracer is not None:
+            self.engine.tracer = tracer
         self.stats = Stats(sample_latencies=sample_latencies)
         self.topology = MeshTopology(config)
         self.address_map = AddressMap(config, num_slices=config.cores)
@@ -160,6 +165,13 @@ class System:
             if policy is not None:
                 controller.policy = policy
 
+        # Observability registry: pull-based (obj, attr) providers over
+        # the counters the components maintain anyway, so registration
+        # adds no hot-path work (DESIGN.md §9).  Part of the pickled
+        # System graph, so checkpoints restore it with the components.
+        self.obs = Registry()
+        self._register_obs()
+
         self._epochs_started = False
 
     # ------------------------------------------------------------------
@@ -175,6 +187,37 @@ class System:
         if not way_counts:
             return None
         return WayPartition.exclusive(self.config.l3_assoc, way_counts)
+
+    def _register_obs(self) -> None:
+        """Register every component's counters/gauges on :attr:`obs`.
+
+        Names are stable dotted paths — tests and external tooling key
+        on them — and all values come from attributes the components
+        already maintain, so this method is pure bookkeeping.
+        """
+        obs = self.obs
+        obs.register_counter("stats.requests_enqueued", self.stats, "requests_enqueued")
+        obs.register_counter("stats.requests_rejected", self.stats, "requests_rejected")
+        obs.register_counter("stats.bus_busy_cycles", self.stats, "bus_busy_cycles")
+        obs.register_counter("stats.mc_active_cycles", self.stats, "mc_active_cycles")
+        for controller in self.controllers:
+            prefix = f"mc{controller.mc_id}"
+            obs.register_counter(f"{prefix}.reads_accepted", controller, "reads_accepted")
+            obs.register_counter(f"{prefix}.writes_accepted", controller, "writes_accepted")
+            obs.register_counter(f"{prefix}.rejects", controller, "rejects")
+            obs.register_gauge(f"{prefix}.queue_depth", controller, "queued_reads")
+            obs.register_gauge(f"{prefix}.queued_writes", controller, "queued_writes")
+            obs.register_gauge(f"{prefix}.inflight", controller, "inflight")
+        for core_id, mshr in self._mshrs.items():
+            obs.register_gauge(f"mshr.c{core_id}.outstanding", mshr, "outstanding")
+        for core_id in self.cores:
+            l2 = self._l2s[core_id]
+            obs.register_counter(f"l2.c{core_id}.hits", l2, "hits")
+            obs.register_counter(f"l2.c{core_id}.misses", l2, "misses")
+        for tile, l3_slice in enumerate(self.hierarchy.l3_slices):
+            obs.register_counter(f"l3.s{tile}.hits", l3_slice, "hits")
+            obs.register_counter(f"l3.s{tile}.misses", l3_slice, "misses")
+        self.mechanism.register_obs(obs)
 
     # ------------------------------------------------------------------
     # running
@@ -199,7 +242,7 @@ class System:
         for controller in self.controllers:
             controller.finalize()
         if self.engine.sanitizer is not None:
-            self.engine.sanitizer.on_run_end()
+            self.engine.sanitizer.on_run_end(self.stats)
 
     def _epoch_tick(self) -> None:
         saturated = self.saturation.sample()
@@ -281,6 +324,8 @@ class System:
         req.caused_writeback = self._wb_demand and bool(outcome.mem_writebacks)
         if self.engine.sanitizer is not None:
             self.engine.sanitizer.on_inject(req)
+        if self.engine.tracer is not None:
+            self.engine.tracer.created(req)
         self.mechanism.request_release(
             core.core_id, req, partial(self._inject, core, req, outcome)
         )
@@ -289,6 +334,8 @@ class System:
         """The request passed the pacer and enters the SoC network."""
         engine = self.engine
         req.released_at = engine._now
+        if engine.tracer is not None:
+            engine.tracer.released(req)
         core_id = core.core_id
         slice_tile = outcome.l3_slice if outcome.l3_slice >= 0 else core_id
         if req.l3_hit:
@@ -341,6 +388,9 @@ class System:
         _, wb.mc_id, wb.bank_id, wb.row_id = self._decode(info.addr)
         if self.engine.sanitizer is not None:
             self.engine.sanitizer.on_inject(wb)
+        if self.engine.tracer is not None:
+            self.engine.tracer.created(wb)
+            self.engine.tracer.released(wb)
         delay = self.topology.tile_to_mc_latency(slice_tile, wb.mc_id)
         self.engine.post(delay, self._deliver, wb)
 
@@ -421,6 +471,8 @@ class System:
             req.completed_at = self.engine._now  # L3 hit completes locally
             if self.engine.sanitizer is not None:
                 self.engine.sanitizer.on_complete(req)
+            if self.engine.tracer is not None:
+                self.engine.tracer.completed(req)
         self.mechanism.on_response(core.core_id, req)
         line = req.addr >> self._line_shift
         for callback in self._mshrs[core.core_id].complete(line):

@@ -75,6 +75,64 @@ class TestPercentile:
     def test_bounds_checked(self):
         with pytest.raises(ValueError):
             percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([1], -0.5)
+
+    def test_q0_is_minimum_and_q100_is_maximum(self):
+        samples = [7.0, 3.0, 9.0, 1.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 9.0
+
+    def test_single_sample_for_every_q(self):
+        for q in (0, 25, 50, 99.9, 100):
+            assert percentile([42.0], q) == 42.0
+
+    def test_linear_interpolation_between_ranks(self):
+        # rank(90) over 5 samples = 3.6 -> 0.4*4 + 0.6*5
+        assert percentile([1, 2, 3, 4, 5], 90) == pytest.approx(4.6)
+
+    def test_unsorted_input(self):
+        assert percentile([5, 1, 4, 2, 3], 50) == 3.0
+
+
+# cross-check the hand-rolled index arithmetic against the standard
+# library's inclusive quantiles (the same method="linear" definition
+# numpy.percentile uses); this pins the off-by-one the old version had
+# at the upper tail
+@given(
+    samples=st.lists(
+        st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+        min_size=2,
+        max_size=50,
+    ),
+    q=st.integers(min_value=1, max_value=99),
+)
+def test_property_percentile_matches_statistics_quantiles(samples, q):
+    import statistics
+
+    cuts = statistics.quantiles(samples, n=100, method="inclusive")
+    assert percentile(samples, q) == pytest.approx(cuts[q - 1], abs=1e-6)
+
+
+@given(
+    samples=st.lists(
+        st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+        min_size=1,
+        max_size=50,
+    ),
+    q=st.floats(min_value=0, max_value=100, allow_nan=False),
+)
+def test_property_percentile_bounded_and_monotone_in_q(samples, q):
+    value = percentile(samples, q)
+    assert min(samples) <= value <= max(samples)
+    if q < 100:
+        assert value <= percentile(samples, 100)
+    if q > 0:
+        assert percentile(samples, 0) <= value
 
 
 @given(

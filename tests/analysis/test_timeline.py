@@ -77,3 +77,58 @@ class TestWindows:
     def test_peak_validation(self):
         with pytest.raises(ValueError):
             BandwidthTimeline([], peak_bytes_per_cycle=0)
+
+
+class TestZeroLengthFinalEpoch:
+    """A run ending exactly on an epoch boundary appends a cycles==0 sample.
+
+    ``Stats.close_epoch`` produces it; every timeline query and the
+    report renderer downstream must survive it without dividing by zero
+    or leaking the ``-1`` multiplier sentinel into report text.
+    """
+
+    def make_timeline_with_empty_tail(self):
+        from repro.sim.stats import Stats
+
+        stats = Stats()
+        stats._epoch_bytes = {0: 800, 1: 200}
+        stats.close_epoch(now=100, saturated=True, multiplier=4)
+        final = stats.close_epoch(now=100)  # zero-length tail
+        assert final.cycles == 0
+        return BandwidthTimeline(stats.epochs, peak_bytes_per_cycle=16.0)
+
+    def test_series_render_zero_not_nan(self):
+        timeline = self.make_timeline_with_empty_tail()
+        assert timeline.utilization_series(0) == [0.5, 0.0]
+        assert timeline.total_utilization_series() == [0.625, 0.0]
+        assert timeline.share_series(0) == [0.8, 0.0]
+
+    def test_window_over_empty_tail(self):
+        timeline = self.make_timeline_with_empty_tail()
+        summary = timeline.window(0, 0)
+        assert summary.min_share == 0.0
+        assert summary.max_share == 0.8
+
+    def test_report_text_has_no_sentinel(self):
+        from repro.analysis.report import format_series
+
+        timeline = self.make_timeline_with_empty_tail()
+        text = "\n".join(
+            format_series(label, series)
+            for label, series in (
+                ("hi", timeline.utilization_series(0)),
+                ("lo", timeline.utilization_series(1)),
+                ("total", timeline.total_utilization_series()),
+            )
+        )
+        assert "-1" not in text
+        assert "nan" not in text and "inf" not in text
+
+    def test_multiplier_sentinel_stays_out_of_stream_records(self):
+        from repro.obs.streams import epoch_record
+
+        timeline = self.make_timeline_with_empty_tail()
+        records = [epoch_record(sample) for sample in timeline.epochs]
+        assert records[0]["multiplier"] == 4
+        assert records[1]["multiplier"] is None
+        assert records[1]["bandwidth_by_class"] == {}

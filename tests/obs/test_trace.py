@@ -1,0 +1,180 @@
+"""Unit tests for the request tracer and Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    RequestTracer,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.sim.records import AccessType, MemoryRequest
+
+
+def traced_request(tracer, qos_id=0, core_id=0, mc_id=0, l3_hit=False,
+                   created=0, released=10, arrived=25, issued=40, done=80):
+    """Walk one request through its full lifecycle under ``tracer``."""
+    req = MemoryRequest(
+        addr=0x40, access=AccessType.READ, qos_id=qos_id, core_id=core_id
+    )
+    req.mc_id = mc_id
+    req.l3_hit = l3_hit
+    req.created_at = created
+    tracer.created(req)
+    req.released_at = released
+    tracer.released(req)
+    if l3_hit:
+        req.completed_at = done
+        tracer.completed(req)
+        return req
+    req.arrived_mc_at = arrived
+    tracer.arrived(req)
+    req.issued_at = issued
+    tracer.issued(req)
+    req.completed_at = done
+    tracer.completed(req)
+    return req
+
+
+class TestRingBuffer:
+    def test_records_in_order(self):
+        tracer = RequestTracer(capacity=16)
+        req = traced_request(tracer)
+        stages = [t[0] for t in tracer.transitions() if t[1] == req.req_id]
+        assert stages == [0, 1, 2, 3, 4]
+        assert tracer.recorded == 5
+        assert tracer.dropped == 0
+
+    def test_ring_evicts_oldest_and_counts_drops(self):
+        tracer = RequestTracer(capacity=3)
+        traced_request(tracer)  # 5 transitions into a 3-slot ring
+        assert len(tracer) == 3
+        assert tracer.recorded == 5
+        assert tracer.dropped == 2
+        # the survivors are the *last* three transitions
+        assert [t[0] for t in tracer.transitions()] == [2, 3, 4]
+
+    def test_clear_resets_everything(self):
+        tracer = RequestTracer(capacity=4)
+        traced_request(tracer)
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.recorded == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            RequestTracer(capacity=0)
+
+
+class TestChromeExport:
+    def test_full_lifecycle_emits_four_spans(self):
+        tracer = RequestTracer()
+        req = traced_request(tracer, qos_id=2, mc_id=1)
+        doc = tracer.to_chrome_trace()
+        spans = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert set(spans) == {"pacer", "noc", "queue", "service"}
+        assert spans["pacer"] == {
+            "name": "pacer", "cat": "request", "ph": "X",
+            "ts": 0, "dur": 10, "pid": 1, "tid": 2,
+            "args": {"req": req.req_id, "core": 0},
+        }
+        # MC-side spans live on pid 2, lane = mc_id
+        assert spans["queue"]["pid"] == 2 and spans["queue"]["tid"] == 1
+        assert spans["service"]["ts"] == 40 and spans["service"]["dur"] == 40
+
+    def test_l3_hit_gets_l3_span_instead_of_noc(self):
+        tracer = RequestTracer()
+        traced_request(tracer, l3_hit=True)
+        names = [e["name"] for e in tracer.to_chrome_trace()["traceEvents"]
+                 if e["ph"] == "X"]
+        assert sorted(names) == ["l3", "pacer"]
+
+    def test_partial_request_emits_only_complete_spans(self):
+        # ring eviction can strip early transitions; spans need both ends
+        tracer = RequestTracer(capacity=2)
+        traced_request(tracer)  # only issued+completed survive
+        names = [e["name"] for e in tracer.to_chrome_trace()["traceEvents"]
+                 if e["ph"] == "X"]
+        assert names == ["service"]
+
+    def test_metadata_tracks_for_each_lane(self):
+        tracer = RequestTracer()
+        traced_request(tracer, qos_id=0, mc_id=0)
+        traced_request(tracer, qos_id=3, mc_id=1)
+        doc = tracer.to_chrome_trace()
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        process_names = {
+            e["pid"]: e["args"]["name"]
+            for e in meta if e["name"] == "process_name"
+        }
+        assert process_names == {1: "QoS classes", 2: "memory controllers"}
+        thread_names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in meta if e["name"] == "thread_name"
+        }
+        assert thread_names[(1, 0)] == "class 0"
+        assert thread_names[(1, 3)] == "class 3"
+        assert thread_names[(2, 1)] == "mc 1"
+
+    def test_other_data_reports_drop_accounting(self):
+        tracer = RequestTracer(capacity=3)
+        traced_request(tracer)
+        other = tracer.to_chrome_trace()["otherData"]
+        assert other["transitions_recorded"] == 5
+        assert other["transitions_dropped"] == 2
+
+    def test_export_validates(self):
+        tracer = RequestTracer()
+        traced_request(tracer)
+        traced_request(tracer, l3_hit=True, qos_id=1)
+        doc = tracer.to_chrome_trace()
+        assert validate_chrome_trace(doc) == len(doc["traceEvents"])
+
+
+class TestValidator:
+    def test_rejects_non_object_document(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"events": []})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="unknown phase"):
+            validate_chrome_trace({"traceEvents": [{"ph": "Z"}]})
+
+    def test_rejects_incomplete_x_event(self):
+        event = {"ph": "X", "name": "s", "ts": 0, "dur": 1, "pid": 1}
+        with pytest.raises(ValueError, match="missing 'tid'"):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_rejects_bool_and_negative_timing(self):
+        base = {"ph": "X", "name": "s", "ts": 0, "dur": 1, "pid": 1, "tid": 0}
+        for bad in ({"ts": True}, {"dur": -1}, {"ts": -5}, {"name": 7}):
+            event = {**base, **bad}
+            with pytest.raises(ValueError):
+                validate_chrome_trace({"traceEvents": [event]})
+
+    def test_rejects_unknown_metadata(self):
+        event = {"ph": "M", "name": "bogus", "args": {"name": "x"}}
+        with pytest.raises(ValueError, match="unknown metadata"):
+            validate_chrome_trace({"traceEvents": [event]})
+        event = {"ph": "M", "name": "thread_name", "args": {}}
+        with pytest.raises(ValueError, match="needs args"):
+            validate_chrome_trace({"traceEvents": [event]})
+
+
+class TestFileOutput:
+    def test_write_validates_then_writes_json(self, tmp_path):
+        tracer = RequestTracer()
+        traced_request(tracer)
+        out = tmp_path / "trace.json"
+        written = write_chrome_trace(out, tracer.to_chrome_trace())
+        assert written == out
+        loaded = json.loads(out.read_text())
+        assert validate_chrome_trace(loaded) > 0
+
+    def test_write_refuses_invalid_document(self, tmp_path):
+        out = tmp_path / "bad.json"
+        with pytest.raises(ValueError):
+            write_chrome_trace(out, {"traceEvents": [{"ph": "Z"}]})
+        assert not out.exists()

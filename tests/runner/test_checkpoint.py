@@ -117,6 +117,20 @@ def test_prefix_key_is_json_serializable_and_versioned():
     json.dumps(key, sort_keys=True, default=str)
 
 
+def test_prefix_hash_is_sensitive_to_tracing():
+    # a traced warm-up buffers different tracer state in its snapshot,
+    # so it must never serve as an untraced run's warm-start (and vice
+    # versa) — the "traced" prefix-key field keeps them apart
+    from repro.obs.trace import RequestTracer
+
+    untraced = tiny_system()
+    traced = tiny_system()
+    traced.engine.tracer = RequestTracer()
+    assert warmup_prefix_hash(untraced, WARMUP) != (
+        warmup_prefix_hash(traced, WARMUP)
+    )
+
+
 # ----------------------------------------------------------------------
 # snapshot / restore
 # ----------------------------------------------------------------------

@@ -42,3 +42,54 @@ class TestRun:
 
     def test_seed_accepted(self, capsys):
         assert main(["run", "fig05", "--quick", "--seed", "3"]) == 0
+
+
+class TestTrace:
+    def test_trace_emits_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.trace import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "epochs.jsonl"
+        assert main([
+            "trace", "fig05", "--quick",
+            "--output", str(out_path),
+            "--metrics", str(metrics_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "steady hi share" in out  # report still prints
+        assert "transitions recorded" in out
+        document = json.loads(out_path.read_text())
+        assert validate_chrome_trace(document) > 0
+        assert metrics_path.exists()
+        first = json.loads(metrics_path.read_text().splitlines()[0])
+        assert "bandwidth_by_class" in first
+
+    def test_trace_report_matches_untraced_run(self, capsys, tmp_path):
+        # attaching the tracer must not change simulation results
+        assert main(["run", "fig05", "--quick"]) == 0
+        untraced = capsys.readouterr().out
+        assert main([
+            "trace", "fig05", "--quick",
+            "--output", str(tmp_path / "t.json"),
+        ]) == 0
+        traced_out = capsys.readouterr().out
+        report = untraced.split("== fig05")[1].splitlines()[1:]
+        for line in report:
+            if line.startswith("["):  # timing lines differ
+                continue
+            assert line in traced_out
+
+    def test_trace_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["trace", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_trace_buffer_cap_respected(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main([
+            "trace", "fig05", "--quick",
+            "--buffer", "100", "--output", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "dropped by the ring" in out
