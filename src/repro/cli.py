@@ -15,11 +15,15 @@ Usage::
                           [--repeat N] [--update] [--no-history]
     python -m repro profile fig05 [--quick] [--top N] [--output PATH]
     python -m repro info
-    python -m repro lint [paths ...]
+    python -m repro lint [paths ...] [--format {text,json,sarif}] [--fix]
+                         [--list-rules] [--timings] [--no-cache]
 
 ``--sanitize`` attaches the runtime invariant checker
 (:mod:`repro.sim.sanitizer`) to every system the experiment builds;
-``lint`` runs the determinism linter (:mod:`repro.devtools.lint`).
+``lint`` runs the determinism linter — per-file rules plus the
+whole-program analysis pass (:mod:`repro.devtools.lint`,
+:mod:`repro.devtools.analysis`); all flags after ``lint`` are forwarded
+to the linter.
 ``sweep --warm-start`` simulates each warm-up prefix once and forks the
 remaining cells from its checkpoint (:mod:`repro.runner.checkpoint`);
 ``checkpoint`` pre-populates those snapshots, and ``cache`` reports or
@@ -377,8 +381,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools import lint
 
     # An explicit argv list: passing None would make lint.main re-parse
-    # sys.argv and mistake the "lint" verb for a path.
-    return lint.main(args.paths or ["src", "tests"])
+    # sys.argv and mistake the "lint" verb for a path.  Everything after
+    # the verb (paths and lint flags alike) forwards verbatim, so
+    # ``repro lint --format=sarif src`` works without mirroring the
+    # linter's option surface here.
+    return lint.main(args.lint_args or ["src", "tests"])
 
 
 def _cmd_info(_args: argparse.Namespace) -> int:
@@ -536,9 +543,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the JSON report here (default: stdout)")
     profile.set_defaults(func=_cmd_profile)
 
-    lint = sub.add_parser("lint", help="run the determinism linter")
-    lint.add_argument("paths", nargs="*",
-                      help="files or directories (default: src tests)")
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism linter and whole-program analyzer",
+    )
+    lint.add_argument(
+        "lint_args", nargs=argparse.REMAINDER, metavar="args",
+        help="paths and linter flags, forwarded to repro.devtools.lint "
+             "(default: src tests; see 'repro lint --help' there)",
+    )
     lint.set_defaults(func=_cmd_lint)
 
     sub.add_parser("info", help="show machine presets and workloads").set_defaults(
@@ -548,6 +561,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # argparse's REMAINDER refuses a leading option token, so flag-first
+    # invocations like ``repro lint --list-rules`` forward directly.
+    if argv and argv[0] == "lint":
+        from repro.devtools import lint
+
+        return lint.main(argv[1:] or ["src", "tests"])
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

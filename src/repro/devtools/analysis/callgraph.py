@@ -1,0 +1,194 @@
+"""Call graph: resolve callsites inside every indexed function.
+
+Resolution is deliberately conservative — a callsite resolves to a
+:class:`~repro.devtools.analysis.symbols.FunctionInfo` only when the
+receiver's type is statically known (module-level function, imported
+name, ``self`` method, or an attribute/local whose type the symbol table
+inferred).  Unresolved calls become ``external`` edges carrying the
+dotted text, which is still enough for the taint pass to recognize
+wall-clock and RNG sources by name.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.devtools.analysis.symbols import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    _ModuleBuilder,
+    container_parts,
+    element_type,
+)
+
+__all__ = ["CallGraph", "CallSite", "build_call_graph", "local_type_env"]
+
+
+@dataclass
+class CallSite:
+    node: ast.Call
+    callee: str | None  # qualname resolved inside the index
+    external: str | None  # dotted name for unresolved calls ("time.time")
+
+
+class CallGraph:
+    """``caller qualname -> [CallSite]`` over the whole index."""
+
+    def __init__(self) -> None:
+        self.calls: dict[str, list[CallSite]] = {}
+        #: reverse edges, resolved only: callee -> set of callers
+        self.callers: dict[str, set[str]] = {}
+
+    def add(self, caller: str, site: CallSite) -> None:
+        self.calls.setdefault(caller, []).append(site)
+        if site.callee is not None:
+            self.callers.setdefault(site.callee, set()).add(caller)
+
+    def edge_count(self) -> int:
+        return sum(len(sites) for sites in self.calls.values())
+
+
+def local_type_env(
+    index: ProjectIndex, module: ModuleInfo, fn: FunctionInfo
+) -> dict[str, str]:
+    """Forward-pass local name -> type-reference map for one function.
+
+    Covers parameter annotations, simple assignments, and the for-loop
+    target shapes the package actually uses (``for x in self.field``,
+    ``for k, v in mapping.items()``, ``for i, x in enumerate(seq)``).
+    """
+    builder = _ModuleBuilder(index, module)
+    env: dict[str, str] = dict(fn.annotations)
+    if fn.owner is not None:
+        owner = index.classes.get(fn.owner)
+        if owner is not None:
+            for attr, slot in owner.fields.items():
+                env.setdefault("self." + attr, slot.type_ref)
+    if fn.node is None:
+        return env
+    for stmt in ast.walk(fn.node):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                inferred = builder.infer_expr_type(stmt.value, env)
+                if inferred != "?" or target.id not in env:
+                    env[target.id] = inferred
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            env[stmt.target.id] = builder.annotation_ref(stmt.annotation)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            _bind_loop_target(builder, env, stmt.target, stmt.iter)
+        elif isinstance(stmt, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in stmt.generators:
+                _bind_loop_target(builder, env, gen.target, gen.iter)
+    return env
+
+
+def _bind_loop_target(
+    builder: _ModuleBuilder,
+    env: dict[str, str],
+    target: ast.expr,
+    iterable: ast.expr,
+) -> None:
+    iter_ref = "?"
+    pair: tuple[str, str] | None = None
+    if isinstance(iterable, ast.Call):
+        chain = builder.dotted_chain(iterable.func)
+        if chain is not None and chain[-1] == "items" and len(chain) >= 2:
+            owner = builder.infer_expr_type(
+                _attr_base(iterable.func), env
+            )
+            parts = container_parts(owner)
+            if parts is not None and parts[0] == "dict" and len(parts[1]) == 2:
+                pair = (parts[1][0], parts[1][1])
+        elif chain == ["enumerate"] and iterable.args:
+            inner = builder.infer_expr_type(iterable.args[0], env)
+            pair = ("int", element_type(inner))
+        elif chain is not None and chain[-1] in ("values", "keys"):
+            owner = builder.infer_expr_type(_attr_base(iterable.func), env)
+            parts = container_parts(owner)
+            if parts is not None and parts[0] == "dict" and len(parts[1]) == 2:
+                iter_ref = parts[1][1] if chain[-1] == "values" else parts[1][0]
+        elif chain == ["sorted"] and iterable.args:
+            iter_ref = element_type(builder.infer_expr_type(iterable.args[0], env))
+    else:
+        iter_ref = element_type(builder.infer_expr_type(iterable, env))
+    if pair is not None and isinstance(target, ast.Tuple) and len(target.elts) == 2:
+        for elt, ref in zip(target.elts, pair):
+            if isinstance(elt, ast.Name):
+                env[elt.id] = ref
+        return
+    if isinstance(target, ast.Name):
+        env[target.id] = iter_ref
+
+
+def _attr_base(func: ast.expr) -> ast.expr:
+    """Receiver of a method call: ``a.b.items`` -> ``a.b``."""
+    assert isinstance(func, ast.Attribute)
+    return func.value
+
+
+def resolve_call(
+    index: ProjectIndex,
+    module: ModuleInfo,
+    node: ast.Call,
+    env: dict[str, str],
+) -> CallSite:
+    builder = _ModuleBuilder(index, module)
+    chain = builder.dotted_chain(node.func)
+    if chain is None:
+        return CallSite(node=node, callee=None, external=None)
+    if len(chain) == 1:
+        name = chain[0]
+        resolved = index.resolve_name(module, name)
+        if resolved in index.functions:
+            return CallSite(node=node, callee=resolved, external=None)
+        if resolved in index.classes:
+            init = index.method(resolved, "__init__")
+            return CallSite(
+                node=node,
+                callee=init.qualname if init is not None else None,
+                external=None if init is not None else resolved,
+            )
+        return CallSite(node=node, callee=None, external=resolved or name)
+    # attribute call: resolve the receiver's type
+    method_name = chain[-1]
+    if chain[0] == "self" and len(chain) == 2:
+        owner = env.get("self")
+        if owner is not None:
+            method = index.method(owner, method_name)
+            if method is not None:
+                return CallSite(node=node, callee=method.qualname, external=None)
+        return CallSite(node=node, callee=None, external=".".join(chain))
+    receiver_ref = builder.infer_expr_type(node.func.value, env)
+    if receiver_ref not in ("?",) and container_parts(receiver_ref) is None:
+        method = index.method(receiver_ref, method_name)
+        if method is not None:
+            return CallSite(node=node, callee=method.qualname, external=None)
+    # fall back to the dotted text (import-aware on the root segment)
+    root = module.imports.get(chain[0], chain[0])
+    dotted = ".".join([root] + chain[1:])
+    if dotted in index.functions:
+        return CallSite(node=node, callee=dotted, external=None)
+    return CallSite(node=node, callee=None, external=dotted)
+
+
+def build_call_graph(index: ProjectIndex) -> CallGraph:
+    graph = CallGraph()
+    for module in index.modules.values():
+        for fn in _iter_functions(module):
+            if fn.node is None:
+                continue
+            env = local_type_env(index, module, fn)
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Call):
+                    graph.add(fn.qualname, resolve_call(index, module, node, env))
+    return graph
+
+
+def _iter_functions(module: ModuleInfo):
+    for fn in module.functions.values():
+        yield fn
+    for cls in module.classes.values():
+        yield from cls.methods.values()

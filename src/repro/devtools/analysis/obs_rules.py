@@ -1,0 +1,121 @@
+"""OBS rule family: statically verify observability provider registrations.
+
+``repro.obs.Registry`` stores ``(obj, attr)`` provider pairs and reads
+``getattr(obj, attr)`` at sample time.  A typo'd attribute name survives
+registration (the runtime ``hasattr`` guard only fires when that exact
+code path runs under a test) and then silently breaks a metric stream.
+This pass finds every ``register_counter(...)`` / ``register_gauge(...)``
+callsite, infers the provider object's class from the symbol table, and
+checks the attribute argument against the class's statically-known
+attribute universe.
+
+Rules:
+
+========  ==============================================================
+OBS001    the registered attribute does not statically exist on the
+          inferred provider class (checked only when the class's
+          attribute universe is *closed*: all bases indexed and no
+          dynamic ``__getattr__``).
+OBS002    the registered attribute is a plain method, not a data field
+          or property — sampling it would record a bound method object,
+          not a value.
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.analysis.callgraph import local_type_env
+from repro.devtools.analysis.symbols import (
+    ModuleInfo,
+    ProjectIndex,
+    container_parts,
+)
+from repro.devtools.lint import Diagnostic
+
+__all__ = ["analyze_obs_providers"]
+
+_REGISTER_METHODS = {"register_counter", "register_gauge"}
+
+
+def analyze_obs_providers(index: ProjectIndex) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    for module in index.modules.values():
+        for fn in _iter_functions(module):
+            if fn.node is None:
+                continue
+            env = local_type_env(index, module, fn)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr not in _REGISTER_METHODS:
+                    continue
+                diag = _check_registration(index, module, node, env)
+                if diag is not None:
+                    diagnostics.append(diag)
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+    return diagnostics
+
+
+def _check_registration(
+    index: ProjectIndex,
+    module: ModuleInfo,
+    node: ast.Call,
+    env: dict[str, str],
+) -> Diagnostic | None:
+    # Signature: register_*(name, obj, attr) with attr a string literal.
+    if len(node.args) < 3:
+        return None
+    obj_arg, attr_arg = node.args[1], node.args[2]
+    if not (isinstance(attr_arg, ast.Constant) and isinstance(attr_arg.value, str)):
+        return None
+    attr = attr_arg.value
+    from repro.devtools.analysis.symbols import _ModuleBuilder
+
+    builder = _ModuleBuilder(index, module)
+    provider_ref = builder.infer_expr_type(obj_arg, env)
+    if provider_ref == "?" or container_parts(provider_ref) is not None:
+        return None
+    if provider_ref not in index.classes:
+        return None
+    attrs = index.class_attrs(provider_ref)
+    provider_name = provider_ref.split(".")[-1]
+    if attrs is not None and attr not in attrs:
+        return Diagnostic(
+            path=module.path,
+            line=node.lineno,
+            col=node.col_offset,
+            code="OBS001",
+            message=(
+                f"obs provider registers attribute {attr!r} which does not "
+                f"statically exist on {provider_name}; sampling would raise "
+                "or silently drop the metric"
+            ),
+            end_line=node.end_lineno or 0,
+        )
+    method = index.method(provider_ref, attr)
+    if method is not None and not method.is_property:
+        return Diagnostic(
+            path=module.path,
+            line=node.lineno,
+            col=node.col_offset,
+            code="OBS002",
+            message=(
+                f"obs provider registers {provider_name}.{attr}, a plain "
+                "method; sampling records the bound method object, not a "
+                "value — use a field or @property"
+            ),
+            end_line=node.end_lineno or 0,
+        )
+    return None
+
+
+def _iter_functions(module: ModuleInfo):
+    for fn in module.functions.values():
+        yield fn
+    for cls in module.classes.values():
+        yield from cls.methods.values()

@@ -1,0 +1,142 @@
+"""CKPT rule family: static pickle-safety of the checkpointed object graph.
+
+``runner/checkpoint.py`` pickles the whole :class:`System` between the
+warm-up boundary and forked sweep runs.  A single lambda, generator, or
+open OS handle anywhere in that object graph turns a checkpoint into a
+runtime ``PicklingError`` — typically hours into a sweep.  This pass
+walks the *statically inferred* field graph instead, starting from every
+class named ``System`` in the analyzed package and following field type
+references breadth-first through containers and nested classes.
+
+Rules:
+
+========  ==============================================================
+CKPT001   a reachable field holds an OS-backed resource (open file
+          handle, lock/thread/socket/module/weakref) — these types
+          either refuse to pickle or silently restore dead.
+CKPT002   a reachable field is bound to a pickle-hostile callable
+          *literal* (lambda, nested ``def``, generator expression).
+          ``Callable``-annotated fields are deliberately exempt: bound
+          methods of picklable objects round-trip fine, and the symbol
+          table maps ``Callable`` annotations to ``?`` for that reason.
+========  ==============================================================
+
+Unknown types (``?``) are skipped, never flagged — inference gaps must
+not produce false alarms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.devtools.analysis.symbols import (
+    CALLABLE_LITERALS,
+    RESOURCE_TYPES,
+    ProjectIndex,
+    container_parts,
+)
+from repro.devtools.lint import Diagnostic
+
+__all__ = ["CHECKPOINT_ROOTS", "analyze_pickle_safety"]
+
+#: Class *names* treated as checkpoint roots.  Matching by name (not
+#: qualname) keeps the rule portable to the test corpus packages.
+CHECKPOINT_ROOTS = ("System",)
+
+_HAZARD_MESSAGES = {
+    "filehandle": "an open file handle",
+    "lock": "a threading synchronization primitive",
+    "thread": "a live thread/process object",
+    "socket": "a socket",
+    "module": "a module object",
+    "weakref": "a weak reference",
+    "lambda": "a lambda literal",
+    "function": "a nested function definition",
+    "generator": "a generator",
+}
+
+
+def analyze_pickle_safety(index: ProjectIndex) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    seen: set[tuple[str, str, str]] = set()  # (class, attr, hazard) dedupe
+    roots = [
+        info
+        for info in index.classes.values()
+        if info.name in CHECKPOINT_ROOTS
+    ]
+    for root in sorted(roots, key=lambda info: info.qualname):
+        _walk_from(index, root.qualname, diagnostics, seen)
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+    return diagnostics
+
+
+def _walk_from(
+    index: ProjectIndex,
+    root_qualname: str,
+    diagnostics: list[Diagnostic],
+    seen: set[tuple[str, str, str]],
+) -> None:
+    visited: set[str] = {root_qualname}
+    # queue entries: (class qualname, human-readable access path to it)
+    queue: deque[tuple[str, str]] = deque()
+    root_name = root_qualname.split(".")[-1]
+    queue.append((root_qualname, root_name))
+    while queue:
+        class_qualname, access_path = queue.popleft()
+        info = index.classes.get(class_qualname)
+        if info is None:
+            continue
+        module = index.modules.get(info.module)
+        path = module.path if module is not None else "<unknown>"
+        for attr in sorted(info.fields):
+            slot = info.fields[attr]
+            field_path = f"{access_path}.{attr}"
+            for hazard in _hazards(slot.type_ref):
+                key = (class_qualname, attr, hazard)
+                if key in seen:
+                    continue
+                seen.add(key)
+                code = "CKPT002" if hazard in CALLABLE_LITERALS else "CKPT001"
+                diagnostics.append(
+                    Diagnostic(
+                        path=path,
+                        line=slot.lineno,
+                        col=0,
+                        code=code,
+                        message=(
+                            f"checkpoint-reachable field {field_path} holds "
+                            f"{_HAZARD_MESSAGES[hazard]} (bound in "
+                            f"{info.name}.{slot.method}); the System object "
+                            "graph must stay picklable for warm-start forks"
+                        ),
+                        end_line=slot.end_lineno,
+                    )
+                )
+            for nested in _nested_classes(index, slot.type_ref):
+                if nested not in visited:
+                    visited.add(nested)
+                    queue.append((nested, field_path))
+
+
+def _hazards(type_ref: str):
+    """Hazard tokens present anywhere in a type reference."""
+    for ref in _flatten(type_ref):
+        if ref in RESOURCE_TYPES or ref in CALLABLE_LITERALS:
+            yield ref
+
+
+def _nested_classes(index: ProjectIndex, type_ref: str):
+    """Indexed class qualnames referenced anywhere in a type reference."""
+    for ref in _flatten(type_ref):
+        if ref in index.classes:
+            yield ref
+
+
+def _flatten(type_ref: str):
+    """Yield every atomic type token in a possibly-nested reference."""
+    parts = container_parts(type_ref)
+    if parts is None:
+        yield type_ref
+        return
+    for arg in parts[1]:
+        yield from _flatten(arg)

@@ -1,0 +1,111 @@
+"""Baseline suppression for grandfathered lint findings.
+
+A baseline entry pins one known finding — matched by ``(path, code,
+message)`` so ordinary line drift does not un-pin it — together with a
+mandatory ``justification`` explaining why it is tolerated rather than
+fixed.  The committed ``LINT_BASELINE.json`` at the repo root is the
+reviewed list; ``repro lint --update-baseline`` regenerates it (with
+placeholder justifications to be filled in by hand).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.devtools.lint import Diagnostic
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    path: str
+    code: str
+    message: str
+    line: int  # informational only; matching ignores it
+    justification: str
+
+    def key(self) -> tuple[str, str, str]:
+        return (_normalize(self.path), self.code, self.message)
+
+
+def _normalize(path: str) -> str:
+    return path.replace("\\", "/").lstrip("./")
+
+
+class Baseline:
+    def __init__(self, entries: list[BaselineEntry] | None = None) -> None:
+        self.entries = entries or []
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            return cls()
+        data = json.loads(raw)
+        entries = [
+            BaselineEntry(
+                path=item["path"],
+                code=item["code"],
+                message=item["message"],
+                line=item.get("line", 0),
+                justification=item.get("justification", ""),
+            )
+            for item in data.get("entries", [])
+        ]
+        return cls(entries)
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: list[Diagnostic]) -> "Baseline":
+        entries = [
+            BaselineEntry(
+                path=_normalize(diag.path),
+                code=diag.code,
+                message=diag.message,
+                line=diag.line,
+                justification="TODO: justify or fix",
+            )
+            for diag in diagnostics
+        ]
+        return cls(entries)
+
+    def save(self, path: Path | str) -> None:
+        payload = {
+            "version": _VERSION,
+            "entries": [
+                {
+                    "path": entry.path,
+                    "code": entry.code,
+                    "line": entry.line,
+                    "message": entry.message,
+                    "justification": entry.justification,
+                }
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.code, e.line)
+                )
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def filter(
+        self, diagnostics: list[Diagnostic]
+    ) -> tuple[list[Diagnostic], int]:
+        """Split findings into ``(kept, suppressed_count)``."""
+        keys = {entry.key() for entry in self.entries}
+        kept: list[Diagnostic] = []
+        suppressed = 0
+        for diag in diagnostics:
+            if (_normalize(diag.path), diag.code, diag.message) in keys:
+                suppressed += 1
+            else:
+                kept.append(diag)
+        return kept, suppressed

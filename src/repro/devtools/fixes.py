@@ -1,0 +1,162 @@
+"""Autofixes for the mechanical lint rules.
+
+Only rules whose fix is a pure, local text rewrite are autofixable:
+
+* **DET004** — true division of a timestamp operand: rewrite ``/`` to
+  ``//`` at the operator position.
+* **DET005** — iterating a bare set literal/comprehension: wrap the
+  iterable in ``sorted(...)``.
+
+Fixes are position-matched against the diagnostics that *survive*
+``# repro: noqa`` filtering, so a suppressed finding is never rewritten.
+Edits apply bottom-up so earlier offsets stay valid.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.devtools.lint import (
+    Diagnostic,
+    _iter_python_files,
+    lint_source,
+)
+
+__all__ = ["AUTOFIXES", "Edit", "fix_paths", "fix_source"]
+
+#: Codes with an autofixer, for ``--list-rules``.
+AUTOFIXES = ("DET004", "DET005")
+
+
+@dataclass(frozen=True)
+class Edit:
+    """One text replacement: ``[start, end)`` offsets into the source."""
+
+    start: int
+    end: int
+    replacement: str
+
+
+def _line_offsets(source: str) -> list[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _offset(offsets: list[int], line: int, col: int) -> int:
+    return offsets[line - 1] + col
+
+
+class _FixCollector(ast.NodeVisitor):
+    """Locate fixable nodes by the (line, col) their rule reports."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.offsets = _line_offsets(source)
+        #: (code, line, col) -> Edit
+        self.edits: dict[tuple[str, int, int], Edit] = {}
+
+    # -- DET004: / -> // on timestamp numerators -----------------------
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        from repro.devtools.lint import NoFloatCycleArithmetic
+
+        if (
+            isinstance(node.op, ast.Div)
+            and NoFloatCycleArithmetic._timestamp_in(node.left) is not None
+        ):
+            edit = self._division_edit(node)
+            if edit is not None:
+                self.edits[("DET004", node.lineno, node.col_offset)] = edit
+        self.generic_visit(node)
+
+    def _division_edit(self, node: ast.BinOp) -> Edit | None:
+        left_end = _offset(
+            self.offsets, node.left.end_lineno, node.left.end_col_offset
+        )
+        right_start = _offset(
+            self.offsets, node.right.lineno, node.right.col_offset
+        )
+        between = self.source[left_end:right_start]
+        slash = between.find("/")
+        if slash == -1 or between.find("//") != -1:
+            return None
+        return Edit(start=left_end + slash, end=left_end + slash + 1, replacement="//")
+
+    # -- DET005: wrap bare set iterables in sorted(...) ----------------
+    def _wrap_iter(self, iterable: ast.expr) -> None:
+        if isinstance(iterable, (ast.Set, ast.SetComp)):
+            start = _offset(self.offsets, iterable.lineno, iterable.col_offset)
+            end = _offset(
+                self.offsets, iterable.end_lineno, iterable.end_col_offset
+            )
+            text = self.source[start:end]
+            self.edits[("DET005", iterable.lineno, iterable.col_offset)] = Edit(
+                start=start, end=end, replacement=f"sorted({text})"
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._wrap_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._wrap_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.AST) -> None:
+        for gen in getattr(node, "generators", ()):
+            self._wrap_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+
+def fix_source(source: str, path: str = "<string>") -> tuple[str, int]:
+    """Apply all autofixes to one buffer; returns ``(new_source, count)``."""
+    diagnostics = [
+        diag for diag in lint_source(source, path) if diag.code in AUTOFIXES
+    ]
+    if not diagnostics:
+        return source, 0
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return source, 0
+    collector = _FixCollector(source)
+    collector.visit(tree)
+    chosen: list[Edit] = []
+    for diag in diagnostics:
+        edit = collector.edits.get((diag.code, diag.line, diag.col))
+        if edit is not None:
+            chosen.append(edit)
+    if not chosen:
+        return source, 0
+    # bottom-up, non-overlapping application
+    chosen.sort(key=lambda e: e.start, reverse=True)
+    applied = 0
+    last_start = len(source) + 1
+    for edit in chosen:
+        if edit.end > last_start:
+            continue  # overlaps an already-applied edit; next --fix run gets it
+        source = source[: edit.start] + edit.replacement + source[edit.end :]
+        last_start = edit.start
+        applied += 1
+    return source, applied
+
+
+def fix_paths(paths: Iterable[Path | str]) -> list[tuple[str, int]]:
+    """Autofix every file under ``paths``; returns per-file fix counts."""
+    changed: list[tuple[str, int]] = []
+    for path in _iter_python_files(paths):
+        original = path.read_text(encoding="utf-8")
+        fixed, count = fix_source(original, str(path))
+        if count and fixed != original:
+            path.write_text(fixed, encoding="utf-8")
+            changed.append((str(path), count))
+    return changed

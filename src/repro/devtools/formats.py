@@ -1,0 +1,106 @@
+"""Diagnostic output formats: text, JSON, and SARIF 2.1.0.
+
+JSON output is byte-stable for a given diagnostic list (sorted keys,
+fixed indentation) so the golden corpus tests can compare it literally.
+SARIF targets GitHub code scanning: one run, one rule per distinct
+code, one result per finding.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.lint import Diagnostic
+
+__all__ = ["render", "render_json", "render_sarif", "render_text"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render(diagnostics: list[Diagnostic], fmt: str) -> str:
+    if fmt == "json":
+        return render_json(diagnostics)
+    if fmt == "sarif":
+        return render_sarif(diagnostics)
+    return render_text(diagnostics)
+
+
+def render_text(diagnostics: list[Diagnostic]) -> str:
+    return "\n".join(diag.format() for diag in diagnostics)
+
+
+def _normalize(path: str) -> str:
+    return path.replace("\\", "/").lstrip("./")
+
+
+def render_json(diagnostics: list[Diagnostic]) -> str:
+    payload = [
+        {
+            "path": _normalize(diag.path),
+            "line": diag.line,
+            "col": diag.col,
+            "code": diag.code,
+            "message": diag.message,
+        }
+        for diag in diagnostics
+    ]
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _rule_metadata(code: str) -> dict:
+    from repro.devtools.analysis import WHOLE_PROGRAM_RULES
+    from repro.devtools.lint import RULES
+
+    if code in RULES:
+        return {"id": code, "shortDescription": {"text": RULES[code].summary}}
+    if code in WHOLE_PROGRAM_RULES:
+        summary, _family = WHOLE_PROGRAM_RULES[code]
+        return {"id": code, "shortDescription": {"text": summary}}
+    return {"id": code, "shortDescription": {"text": "diagnostic"}}
+
+
+def render_sarif(diagnostics: list[Diagnostic]) -> str:
+    codes = sorted({diag.code for diag in diagnostics})
+    rules = [_rule_metadata(code) for code in codes]
+    rule_index = {code: index for index, code in enumerate(codes)}
+    results = [
+        {
+            "ruleId": diag.code,
+            "ruleIndex": rule_index[diag.code],
+            "level": "error" if diag.code == "E999" else "warning",
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _normalize(diag.path)},
+                        "region": {
+                            "startLine": max(diag.line, 1),
+                            "startColumn": diag.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for diag in diagnostics
+    ]
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

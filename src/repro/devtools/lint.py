@@ -50,12 +50,20 @@ PERF003   serialization modules (``pickle``, ``marshal``, ``shelve``,
           overhead into simulation code.
 ========  ==============================================================
 
+Beyond the per-file rules above, ``main`` also runs the whole-program
+pass (:mod:`repro.devtools.analysis`) whenever a lint path contains the
+``repro`` package: determinism taint (DET1xx), hot-kernel discipline
+(HOT), checkpoint pickle-safety (CKPT), and observability providers
+(OBS).  ``--list-rules`` shows both registries.
+
 Usage::
 
-    python -m repro.devtools.lint [--list-rules] [paths ...]
+    python -m repro.devtools.lint [--list-rules] [--format=text|json|sarif]
+                                  [--fix] [--jobs N] [paths ...]
     repro lint [paths ...]
 
-Exit status is non-zero when any diagnostic survives suppression.
+Exit status is non-zero when any diagnostic survives suppression and
+the baseline; 2 on usage errors (nonexistent or non-Python paths).
 """
 
 from __future__ import annotations
@@ -64,12 +72,13 @@ import argparse
 import ast
 import re
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
 from typing import ClassVar, Iterable, Iterator
 
 __all__ = [
     "Diagnostic",
+    "LintUsageError",
     "RULES",
     "lint_file",
     "lint_paths",
@@ -85,15 +94,25 @@ _NOQA_RE = re.compile(
 )
 
 
+class LintUsageError(Exception):
+    """A path argument the linter cannot act on (exit status 2)."""
+
+
 @dataclass(frozen=True)
 class Diagnostic:
-    """One finding: a rule violated at a file/line/column."""
+    """One finding: a rule violated at a file/line/column.
+
+    ``end_line`` is the last line of the offending construct (0 when
+    unknown); suppression honours a ``# repro: noqa`` on any line of a
+    multi-line statement's span, not just the first.
+    """
 
     path: str
     line: int
     col: int
     code: str
     message: str
+    end_line: int = field(default=0, compare=False)
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
@@ -153,6 +172,7 @@ class Rule(ast.NodeVisitor):
                 col=getattr(node, "col_offset", 0),
                 code=self.code,
                 message=message,
+                end_line=getattr(node, "end_lineno", 0) or 0,
             )
         )
 
@@ -569,14 +589,59 @@ def _suppressed_codes(line: str) -> set[str] | None:
     return {code.strip().upper() for code in codes.split(",") if code.strip()}
 
 
+#: Statements with no nested statement list: a noqa anywhere in their
+#: multi-line span suppresses findings anywhere in the same span.
+_SIMPLE_STMTS = (
+    ast.Assign, ast.AnnAssign, ast.AugAssign, ast.Return, ast.Expr,
+    ast.Raise, ast.Assert, ast.Delete, ast.Import, ast.ImportFrom,
+)
+
+
+def _noqa_scopes(
+    tree: ast.Module,
+) -> tuple[tuple[tuple[int, int, int], ...], tuple[tuple[int, int], ...]]:
+    """Suppression scopes: function bodies and simple-statement spans.
+
+    A ``# repro: noqa`` on a ``def`` line suppresses findings anywhere in
+    that function's body — decorated defs included (the decorator lines
+    are outside the span, the ``def`` line anchors it).  A noqa on any
+    line of a multi-line *simple* statement covers the whole statement,
+    so the comment can trail the closing parenthesis.
+    """
+    scopes: list[tuple[int, int, int]] = []
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes.append((node.lineno, node.end_lineno or node.lineno, node.lineno))
+        elif isinstance(node, _SIMPLE_STMTS):
+            end = node.end_lineno or node.lineno
+            if end > node.lineno:
+                spans.append((node.lineno, end))
+    return tuple(scopes), tuple(spans)
+
+
 def _apply_noqa(
-    diagnostics: Iterable[Diagnostic], lines: tuple[str, ...]
+    diagnostics: Iterable[Diagnostic],
+    lines: tuple[str, ...],
+    scopes: tuple[tuple[int, int, int], ...] = (),
+    spans: tuple[tuple[int, int], ...] = (),
 ) -> list[Diagnostic]:
+    def suppressed_at(lineno: int, code: str) -> bool:
+        line = lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+        codes = _suppressed_codes(line)
+        return codes is not None and (not codes or code in codes)
+
     kept: list[Diagnostic] = []
     for diag in diagnostics:
-        line = lines[diag.line - 1] if 0 < diag.line <= len(lines) else ""
-        codes = _suppressed_codes(line)
-        if codes is not None and (not codes or diag.code in codes):
+        span_end = max(diag.line, diag.end_line)
+        candidates = list(range(diag.line, span_end + 1))
+        for start, end in spans:
+            if start <= diag.line <= end:
+                candidates.extend(range(start, end + 1))
+        for start, end, def_line in scopes:
+            if start <= diag.line <= end:
+                candidates.append(def_line)
+        if any(suppressed_at(lineno, diag.code) for lineno in candidates):
             continue
         kept.append(diag)
     return kept
@@ -605,7 +670,24 @@ def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
         rule.visit(tree)
         diagnostics.extend(rule.diagnostics)
     diagnostics.sort(key=lambda d: (d.line, d.col, d.code))
-    return _apply_noqa(diagnostics, ctx.lines)
+    scopes, spans = _noqa_scopes(tree)
+    return _apply_noqa(diagnostics, ctx.lines, scopes, spans)
+
+
+def apply_noqa_to_source(
+    diagnostics: Iterable[Diagnostic], source: str
+) -> list[Diagnostic]:
+    """Noqa-filter externally produced diagnostics against one buffer.
+
+    Used by the whole-program pass, whose diagnostics are created outside
+    :func:`lint_source` but must honour the same suppression comments.
+    """
+    lines = tuple(source.splitlines())
+    try:
+        scopes, spans = _noqa_scopes(ast.parse(source))
+    except SyntaxError:
+        scopes, spans = (), ()
+    return _apply_noqa(diagnostics, lines, scopes, spans)
 
 
 def lint_file(path: Path | str) -> list[Diagnostic]:
@@ -614,27 +696,162 @@ def lint_file(path: Path | str) -> list[Diagnostic]:
 
 
 def _iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    """Expand path arguments to ``*.py`` files, validating as we go.
+
+    Raises :class:`LintUsageError` for nonexistent paths and for
+    explicit file arguments that are not Python source.  The same file
+    reached twice via overlapping arguments (``src src/repro``) is
+    yielded once.
+    """
+    seen: set[Path] = set()
     for raw in paths:
         path = Path(raw)
+        if not path.exists():
+            raise LintUsageError(f"no such file or directory: {path}")
         if path.is_dir():
-            yield from sorted(path.rglob("*.py"))
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix != ".py":
+            raise LintUsageError(
+                f"not a Python file: {path} (only *.py files can be linted)"
+            )
         else:
-            yield path
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            yield candidate
 
 
-def lint_paths(paths: Iterable[Path | str]) -> list[Diagnostic]:
-    """Lint every ``*.py`` file under the given files/directories."""
+def lint_paths(
+    paths: Iterable[Path | str], jobs: int = 1
+) -> list[Diagnostic]:
+    """Lint every ``*.py`` file under the given files/directories.
+
+    With ``jobs > 1`` files are analyzed in parallel worker processes
+    (each file is independent); output order stays deterministic.
+    """
+    files = list(_iter_python_files(paths))
+    if jobs > 1 and len(files) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                per_file = list(pool.map(lint_file, files, chunksize=8))
+        except (OSError, ValueError):  # no process support: degrade serially
+            per_file = [lint_file(path) for path in files]
+    else:
+        per_file = [lint_file(path) for path in files]
     diagnostics: list[Diagnostic] = []
-    for path in _iter_python_files(paths):
-        diagnostics.extend(lint_file(path))
+    for file_diags in per_file:
+        diagnostics.extend(file_diags)
     return diagnostics
 
 
+_FAMILIES = {
+    "DET": "determinism",
+    "SIM": "simulation",
+    "PERF": "performance",
+    "HOT": "hot-path",
+    "CKPT": "checkpoint",
+    "OBS": "observability",
+}
+
+
+def _family_of(code: str) -> str:
+    prefix = code.rstrip("0123456789")
+    return _FAMILIES.get(prefix, "general")
+
+
 def _list_rules() -> str:
-    lines = []
+    from repro.devtools.analysis import WHOLE_PROGRAM_RULES
+    from repro.devtools.fixes import AUTOFIXES
+
+    rows: list[tuple[str, str, str, str, str]] = []
     for code in sorted(RULES):
-        lines.append(f"{code}  {RULES[code].summary}")
+        rows.append(
+            (
+                code,
+                _family_of(code),
+                "per-file",
+                "yes" if code in AUTOFIXES else "no",
+                RULES[code].summary,
+            )
+        )
+    for code in sorted(WHOLE_PROGRAM_RULES):
+        summary, family = WHOLE_PROGRAM_RULES[code]
+        rows.append((code, family, "whole-program", "no", summary))
+    headers = ("CODE", "FAMILY", "SCOPE", "FIX", "SUMMARY")
+    widths = [
+        max(len(headers[i]), max(len(row[i]) for row in rows)) for i in range(4)
+    ]
+    lines = [
+        "  ".join(headers[i].ljust(widths[i]) for i in range(4)) + "  SUMMARY"
+    ]
+    lines.append("  ".join("-" * widths[i] for i in range(4)) + "  " + "-" * 7)
+    for row in rows:
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) for i in range(4)) + "  " + row[4]
+        )
     return "\n".join(lines)
+
+
+def _find_package_roots(paths: Iterable[Path | str]) -> list[Path]:
+    """``repro`` package directories reachable from the lint paths."""
+    roots: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        candidates = []
+        if path.is_dir():
+            if path.name == "repro" and (path / "__init__.py").exists():
+                candidates.append(path)
+            candidates.extend(
+                parent for parent in sorted(path.glob("**/repro"))
+                if (parent / "__init__.py").exists()
+            )
+        else:
+            for parent in path.parents:
+                if parent.name == "repro" and (parent / "__init__.py").exists():
+                    candidates.append(parent)
+                    break
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                roots.append(candidate)
+    return roots
+
+
+def _whole_program_diagnostics(
+    roots: Iterable[Path],
+    cache_dir: str | None,
+    use_cache: bool,
+    timings: list[str],
+) -> list[Diagnostic]:
+    from repro.devtools.analysis import analyze_project
+
+    diagnostics: list[Diagnostic] = []
+    for root in roots:
+        found, info = analyze_project(root, cache_dir=cache_dir, use_cache=use_cache)
+        timings.append(
+            f"whole-program {root}: {info['elapsed_s'] * 1000.0:.0f} ms "
+            f"({'warm, cache hit' if info['cache_hit'] else 'cold'}; "
+            f"fingerprint {info['fingerprint']})"
+        )
+        # honour # repro: noqa in the analyzed sources
+        by_path: dict[str, list[Diagnostic]] = {}
+        for diag in found:
+            by_path.setdefault(diag.path, []).append(diag)
+        for path, diags in by_path.items():
+            try:
+                source = Path(path).read_text(encoding="utf-8")
+            except OSError:
+                diagnostics.extend(diags)
+                continue
+            diagnostics.extend(apply_noqa_to_source(diags, source))
+    return diagnostics
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -649,20 +866,107 @@ def main(argv: list[str] | None = None) -> int:
         help="files or directories to lint (default: src tests)",
     )
     parser.add_argument(
-        "--list-rules", action="store_true", help="print rule codes and exit"
+        "--list-rules", action="store_true",
+        help="print the rule table (family, scope, autofix) and exit",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="diagnostic output format (default: text)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="write formatted diagnostics to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply autofixes for the mechanical rules (DET004, DET005)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="lint files in N parallel processes (default: 1)",
+    )
+    parser.add_argument(
+        "--baseline", default="LINT_BASELINE.json", metavar="PATH",
+        help="baseline suppression file (default: LINT_BASELINE.json; "
+             "missing file means empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file and report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file with all current findings and exit 0",
+    )
+    parser.add_argument(
+        "--no-whole-program", action="store_true",
+        help="skip the whole-program analysis pass (DET1xx/HOT/CKPT/OBS)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="analysis cache directory (default: .repro-cache/analysis)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the fingerprint-keyed analysis cache",
+    )
+    parser.add_argument(
+        "--timings", action="store_true",
+        help="print analyzer timing lines to stderr",
     )
     args = parser.parse_args(argv)
     if args.list_rules:
         print(_list_rules())
         return 0
-    missing = [p for p in args.paths if not Path(p).exists()]
-    if missing:
-        for p in missing:
-            print(f"error: no such file or directory: {p}", file=sys.stderr)
+
+    timings: list[str] = []
+    try:
+        if args.fix:
+            from repro.devtools.fixes import fix_paths
+
+            changed = fix_paths(args.paths)
+            for path, count in changed:
+                print(f"fixed {count} finding(s) in {path}")
+        diagnostics = lint_paths(args.paths, jobs=args.jobs)
+    except LintUsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
-    diagnostics = lint_paths(args.paths)
-    for diag in diagnostics:
-        print(diag.format())
+
+    if not args.no_whole_program:
+        roots = _find_package_roots(args.paths)
+        if roots:
+            from repro.devtools.analysis.cache import DEFAULT_CACHE_DIR
+
+            cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+            diagnostics.extend(
+                _whole_program_diagnostics(
+                    roots, cache_dir, not args.no_cache, timings
+                )
+            )
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+
+    from repro.devtools.baseline import Baseline
+
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        Baseline.from_diagnostics(diagnostics).save(baseline_path)
+        print(f"baseline updated: {baseline_path} ({len(diagnostics)} entries)")
+        return 0
+    if not args.no_baseline:
+        baseline = Baseline.load(baseline_path)
+        diagnostics, suppressed = baseline.filter(diagnostics)
+        if suppressed and args.timings:
+            timings.append(f"baseline suppressed {suppressed} finding(s)")
+
+    from repro.devtools.formats import render
+
+    rendered = render(diagnostics, args.format)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+    elif rendered:
+        print(rendered)
+    for line in timings if args.timings else ():
+        print(line, file=sys.stderr)
     if diagnostics:
         print(f"{len(diagnostics)} finding(s)", file=sys.stderr)
         return 1

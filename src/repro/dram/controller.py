@@ -247,7 +247,7 @@ class MemoryController:
         else:
             engine.post_at(when, self._run_pass, token)
 
-    def _run_pass(self, token: int) -> None:
+    def _run_pass(self, token: int) -> None:  # repro: hot-kernel
         if token != self._pass_token:
             return  # superseded by a later request for an earlier pass
         self._pass_at = None
@@ -286,7 +286,7 @@ class MemoryController:
                 ready.append(req)
         return ready
 
-    def _issue_ready(self, now: int) -> int:
+    def _issue_ready(self, now: int) -> int:  # repro: hot-kernel
         """Serve ready requests until banks, bus, or queues run out.
 
         The ready lists are maintained incrementally across issues instead

@@ -1,10 +1,13 @@
-"""Source fingerprinting for the result cache.
+"""Source fingerprinting for the result and analysis caches.
 
 A cached result is only valid for the code that produced it.  The
 fingerprint is a SHA-256 over every ``*.py`` file under the ``repro``
 package (paths and contents, sorted), so any source change — including
 to a figure module or the simulator kernels — invalidates all entries
-without needing per-module dependency tracking.
+without needing per-module dependency tracking.  The whole-program
+analyzer (:mod:`repro.devtools.analysis`) keys its diagnostic cache on
+the same digest: the analysis is a pure function of exactly the file
+set hashed here.
 """
 
 from __future__ import annotations
@@ -12,9 +15,16 @@ from __future__ import annotations
 import hashlib
 from pathlib import Path
 
-__all__ = ["source_fingerprint"]
+__all__ = ["source_files", "source_fingerprint"]
 
 _cached: tuple[str, str] | None = None
+
+
+def source_files(root: Path | str | None = None) -> list[Path]:
+    """The sorted ``*.py`` file set one fingerprint covers."""
+    if root is None:
+        root = Path(__file__).resolve().parent.parent
+    return sorted(Path(root).rglob("*.py"))
 
 
 def source_fingerprint(root: Path | str | None = None) -> str:
@@ -27,7 +37,7 @@ def source_fingerprint(root: Path | str | None = None) -> str:
     if _cached is not None and _cached[0] == key:
         return _cached[1]
     digest = hashlib.sha256()
-    for path in sorted(root.rglob("*.py")):
+    for path in source_files(root):
         digest.update(str(path.relative_to(root)).encode("utf-8"))
         digest.update(b"\0")
         digest.update(path.read_bytes())

@@ -1,0 +1,16 @@
+"""Seeded CKPT violations reachable from the System field graph."""
+
+import threading
+
+
+class TraceSink:
+    def __init__(self, path: str):
+        self.handle = open(path, "a")
+        self.render = lambda line: line.strip()
+
+
+class System:
+    def __init__(self, trace: TraceSink):
+        self.guard = threading.Lock()
+        self.trace = trace
+        self.samples = (value * value for value in range(4))

@@ -1,0 +1,11 @@
+"""Seeded violations: nondeterministic helpers two calls from any sink."""
+
+import time
+
+
+def jitter_cycles():
+    return int(time.time_ns())
+
+
+def entropy_token():
+    return hash(object())  # repro: noqa[DET001]

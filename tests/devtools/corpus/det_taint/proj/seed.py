@@ -1,0 +1,19 @@
+"""DET102: OS entropy and uuid noise reaching seed derivation."""
+
+import os
+import uuid
+
+from numpy.random import SeedSequence, default_rng
+
+
+def boot_entropy():
+    return os.urandom(8)
+
+
+def make_seed_sequence():
+    return SeedSequence(boot_entropy())
+
+
+def make_generator():
+    token = uuid.uuid4().int
+    return default_rng(seed=token)

@@ -1,0 +1,27 @@
+"""DET101: the tainted values cross a module boundary before posting."""
+
+from proj.clock import entropy_token, jitter_cycles
+
+
+class Engine:
+    def __init__(self) -> None:
+        self.now = 0
+
+    def post(self, delay, fn):
+        pass
+
+    def post_at(self, when, fn):
+        pass
+
+
+def tick():
+    pass
+
+
+def arm_timer(engine: Engine):
+    engine.post_at(jitter_cycles(), tick)
+
+
+def arm_backoff(engine: Engine):
+    backoff = entropy_token() % 64
+    engine.post(backoff, tick)

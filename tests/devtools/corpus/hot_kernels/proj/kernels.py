@@ -1,0 +1,24 @@
+"""Seeded HOT violations inside marked kernels."""
+
+
+class Wheel:
+    def __init__(self) -> None:
+        self.buckets = [[], []]
+        self.count = 0
+
+    def drain(self, deadline: int, **opts):  # repro: hot-kernel
+        total = 0
+        while total < deadline:
+            pending = [entry for entry in self.buckets[0]]
+            eval("total")
+            total += len(pending)
+        return total
+
+    def scan(self, when):  # repro: hot-kernel
+        scale = 1.5
+        matches = ()
+        for bucket in self.buckets:
+            matches = {entry for entry in bucket}
+            probe = lambda: when + self.count
+            probe()
+        return scale, matches

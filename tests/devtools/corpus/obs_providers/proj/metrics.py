@@ -1,0 +1,32 @@
+"""Seeded OBS violations: typo'd, missing, and method providers."""
+
+
+class CacheStats:
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class Registry:
+    def register_counter(self, name, obj, attr):
+        pass
+
+    def register_gauge(self, name, obj, attr):
+        pass
+
+
+def wire(registry: Registry, stats: CacheStats) -> None:
+    registry.register_counter("cache.hits", stats, "hits")
+    registry.register_counter("cache.misses", stats, "missess")
+    registry.register_gauge("cache.ratio", stats, "ratio")
+    registry.register_gauge("cache.evictions", stats, "evictions")
+    registry.register_counter("cache.reset", stats, "reset")
