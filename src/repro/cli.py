@@ -53,6 +53,7 @@ from repro.experiments import (
     fig10_isolation,
     fig11_iaas,
     fig12_efficiency,
+    soc256,
 )
 
 __all__ = ["EXPERIMENTS", "main"]
@@ -76,6 +77,8 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
               "IaaS consolidation vs a static bandwidth partition"),
     "fig12": (fig12_efficiency.run,
               "memory-efficiency cost of bandwidth QoS"),
+    "soc256": (soc256.run,
+               "256-core/32-MC scale-out run (sharded-runner workload)"),
 }
 
 
@@ -133,7 +136,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.experiment!r}; known: {known}",
               file=sys.stderr)
         return 2
-    specs = specs_for_figure(args.experiment, quick=args.quick, seed=args.seed)
+    if args.shards > 1 and args.warm_start:
+        print("--shards and --warm-start are incompatible: a checkpoint "
+              "captures one engine, not a shard ensemble", file=sys.stderr)
+        return 2
+    specs = specs_for_figure(
+        args.experiment, quick=args.quick, seed=args.seed, shards=args.shards
+    )
     cache = ResultCache(args.cache_dir)
     started = time.perf_counter()
     outcomes = run_specs(
@@ -299,13 +308,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     document = run_bench(
-        figures, quick=args.quick, seed=args.seed, repeat=args.repeat
+        figures, quick=args.quick, seed=args.seed, repeat=args.repeat,
+        shards=args.shards,
     )
+    failures = 0
     for figure, entry in document["figures"].items():
         if entry.get("ok"):
             print(f"{figure:<8} {entry['wall_seconds']:>8.2f}s  "
                   f"{entry['events']:>12,} events  "
                   f"{entry['events_per_sec']:>12,.0f} events/s")
+            sharding = entry.get("sharding")
+            if sharding is not None:
+                if sharding.get("ok"):
+                    print(f"{'':<8} sharded x{sharding['shards']}: "
+                          f"{sharding['wall_seconds']:.2f}s  "
+                          f"({sharding['speedup']:.2f}x, "
+                          f"{sharding['cpu_count']} cpu(s), byte-identical)")
+                else:
+                    failures += 1
+                    print(f"{'':<8} sharded x{sharding.get('shards')} FAILED: "
+                          f"{sharding.get('error')}")
         else:
             print(f"{figure:<8} FAILED: {entry.get('error')}")
 
@@ -344,7 +366,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not args.no_history:
         history = append_history(document)
         print(f"[appended to {history}]")
-    return 0
+    return 1 if failures else 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -453,6 +475,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--warm-start", action="store_true",
                        help="simulate each warm-up prefix once and fork the "
                             "remaining cells from its checkpoint")
+    sweep.add_argument("--shards", type=int, default=1,
+                       help="partition each cell's machine across N engines "
+                            "synchronized in conservative windows "
+                            "(byte-identical reports; incompatible with "
+                            "--warm-start)")
     sweep.set_defaults(func=_cmd_sweep)
 
     checkpoint = sub.add_parser(
@@ -526,6 +553,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rewrite BENCH_baseline.json in place")
     bench.add_argument("--no-warm-start", action="store_true",
                        help="skip the cold-vs-warm-started sweep comparison")
+    bench.add_argument("--shards", type=int, default=1,
+                       help="additionally run each figure once through the "
+                            "sharded runner at this shard count and record "
+                            "wall/speedup (byte-checked vs single-process)")
     bench.add_argument("--no-history", action="store_true",
                        help="skip appending this run to BENCH_history.jsonl")
     bench.set_defaults(func=_cmd_bench)

@@ -48,6 +48,14 @@ PERF003   serialization modules (``pickle``, ``marshal``, ``shelve``,
           checkpoint format; an ad-hoc pickle elsewhere either bypasses
           the restore validation/versioning or drags serialization
           overhead into simulation code.
+PERF004   process-parallelism modules (``multiprocessing``,
+          ``concurrent.futures``) may only be imported under
+          ``runner/`` (the sweep pool and the shard backends) or by
+          ``sim/shard.py`` (which stays transport-agnostic but is the
+          sharding subsystem's home).  Worker processes are an
+          orchestration concern; a pool inside simulation code would
+          put nondeterministic scheduling next to the event loop the
+          whole design keeps bit-deterministic.
 ========  ==============================================================
 
 Beyond the per-file rules above, ``main`` also runs the whole-program
@@ -575,6 +583,70 @@ class SerializationOnlyInCheckpoint(Rule):
         self.generic_visit(node)
 
 
+@register
+class ProcessParallelismOnlyInRunner(Rule):
+    code = "PERF004"
+    summary = (
+        "multiprocessing/concurrent.futures imports are confined to "
+        "runner/ and sim/shard.py"
+    )
+
+    #: Directory whose modules may spawn worker processes: the sweep
+    #: pool and the shard execution backends live here.
+    _ALLOWED_DIR = "runner"
+
+    #: The sharding subsystem's home module.  It deliberately imports
+    #: neither banned module today (it is transport-agnostic; the
+    #: backends in runner/shardpool.py own the pipes), but it is the
+    #: one sim/ module where boundary-transport code belongs.
+    _ALLOWED_FILE = ("sim", "shard.py")
+
+    _BANNED = ("multiprocessing", "concurrent.futures")
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        parts = ctx.repro_parts
+        if parts is None:
+            return False
+        if len(parts) > 1 and parts[0] == cls._ALLOWED_DIR:
+            return False
+        return parts != cls._ALLOWED_FILE
+
+    def _flag(self, node: ast.AST, module: str) -> None:
+        self.report(
+            node,
+            f"{module} import outside runner/ and sim/shard.py; worker "
+            "processes are an orchestration concern — route parallelism "
+            "through repro.runner (the sweep pool or the shard backends) "
+            "so nondeterministic OS scheduling never sits next to the "
+            "bit-deterministic event loop",
+        )
+
+    def _match(self, name: str) -> str | None:
+        for banned in self._BANNED:
+            if name == banned or name.startswith(banned + "."):
+                return banned
+        return None
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            banned = self._match(alias.name)
+            if banned is not None:
+                self._flag(node, banned)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        banned = self._match(module)
+        if banned is None and module == "concurrent":
+            # `from concurrent import futures` reaches the same pool API
+            if any(alias.name == "futures" for alias in node.names):
+                banned = "concurrent.futures"
+        if banned is not None:
+            self._flag(node, banned)
+        self.generic_visit(node)
+
+
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
@@ -734,7 +806,9 @@ def lint_paths(
     """
     files = list(_iter_python_files(paths))
     if jobs > 1 and len(files) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+        # The linter may parallelize over files; it is tooling, not
+        # simulation code, so it exempts itself from its own rule.
+        from concurrent.futures import ProcessPoolExecutor  # repro: noqa[PERF004]
 
         try:
             with ProcessPoolExecutor(max_workers=jobs) as pool:

@@ -190,7 +190,11 @@ class MemoryController:
         return True
 
     def add_space_listener(self, callback: Callable[[int], None]) -> None:
-        """Register a callback invoked (async) when queue space frees up."""
+        """Register a callback invoked synchronously when space frees up.
+
+        Listeners must be cheap and must not re-enter the controller:
+        the contract is "set a hint, arm a drain", nothing more.
+        """
         self._space_listeners.append(callback)
 
     # ------------------------------------------------------------------
@@ -504,8 +508,12 @@ class MemoryController:
                 engine.post_at(when, self._run_pass, token)
 
     def _notify_space(self) -> None:
+        # Synchronous hint: listeners only set a flag and arm a late-phase
+        # drain, so calling them inline keeps the admission *work* out of
+        # the scheduling pass while avoiding a queue round-trip whose
+        # position would depend on event insertion order.
         for listener in self._space_listeners:
-            self._engine.post(0, listener, self.mc_id)
+            listener(self.mc_id)
 
     # ------------------------------------------------------------------
     # introspection

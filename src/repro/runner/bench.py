@@ -67,13 +67,26 @@ def git_revision() -> str | None:
 
 
 def run_bench(
-    figures: Iterable[str], quick: bool = True, seed: int = 0, repeat: int = 3
+    figures: Iterable[str],
+    quick: bool = True,
+    seed: int = 0,
+    repeat: int = 3,
+    shards: int = 1,
 ) -> dict[str, Any]:
     """Time each figure ``repeat`` times; returns the bench document.
 
     The reported wall time is the median across repeats (events/sec is
     derived from it); the event count is deterministic, so any repeat's
     count is the count.
+
+    With ``shards > 1`` each figure additionally runs once through the
+    sharded runner; the entry grows a ``"sharding"`` sub-document with
+    the sharded wall time, the speedup vs the single-process median,
+    and the host's CPU count (the honest context for that speedup — on
+    a single-CPU host the workers time-slice one core and the barrier
+    overhead makes the "speedup" a slowdown).  The sharded report is
+    byte-compared against the single-process one, so a determinism
+    break fails the bench instead of flattering it.
     """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
@@ -81,20 +94,26 @@ def run_bench(
     for figure in figures:
         walls: list[float] = []
         entry: dict[str, Any] | None = None
+        report: str | None = None
         for _ in range(repeat):
             outcome = execute_spec(RunSpec(figure=figure, quick=quick, seed=seed))
             if not outcome.get("ok"):
                 entry = {"ok": False, "error": outcome.get("error")}
                 break
             walls.append(outcome["wall_seconds"])
+            report = outcome.get("report")
             entry = {"ok": True, "events": outcome["events"]}
         if entry.get("ok"):
             wall = statistics.median(walls)
             entry["wall_seconds"] = round(wall, 4)
             entry["events_per_sec"] = round(entry["events"] / wall, 1) if wall > 0 else 0.0
             entry["repeats"] = len(walls)
+            if shards > 1:
+                entry["sharding"] = _bench_sharded(
+                    figure, quick, seed, shards, wall, report
+                )
         results[figure] = entry
-    return {
+    document = {
         "schema": 2,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "quick": quick,
@@ -105,6 +124,43 @@ def run_bench(
         "platform": platform.platform(),
         "git_revision": git_revision(),
         "figures": results,
+    }
+    if shards > 1:
+        document["shards"] = shards
+    return document
+
+
+def _bench_sharded(
+    figure: str,
+    quick: bool,
+    seed: int,
+    shards: int,
+    baseline_wall: float,
+    baseline_report: str | None,
+) -> dict[str, Any]:
+    """One sharded run of a figure, byte-checked against the 1-shard report."""
+    import os
+
+    outcome = execute_spec(
+        RunSpec(figure=figure, quick=quick, seed=seed, shards=shards)
+    )
+    cpu_count = os.cpu_count()
+    if not outcome.get("ok"):
+        return {"ok": False, "shards": shards, "error": outcome.get("error")}
+    if baseline_report is not None and outcome.get("report") != baseline_report:
+        return {
+            "ok": False,
+            "shards": shards,
+            "error": "sharded report diverged from single-process run",
+        }
+    wall = outcome["wall_seconds"]
+    return {
+        "ok": True,
+        "shards": shards,
+        "wall_seconds": round(wall, 4),
+        "speedup": round(baseline_wall / wall, 3) if wall > 0 else 0.0,
+        "cpu_count": cpu_count,
+        "byte_identical": baseline_report is not None,
     }
 
 
@@ -262,6 +318,9 @@ def append_history(
                 "wall_seconds": entry.get("wall_seconds"),
                 "events": entry.get("events"),
             }
+            sharding = entry.get("sharding")
+            if sharding is not None:
+                figures[figure]["sharding"] = dict(sharding)
         else:
             figures[figure] = {"error": entry.get("error")}
     line = {

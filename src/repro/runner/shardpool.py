@@ -1,0 +1,247 @@
+"""Execution backends for sharded simulation (DESIGN.md §11).
+
+:mod:`repro.sim.shard` defines the partition, the conservative window
+schedule, and the per-shard runner; this module supplies the transport
+and the barrier loop:
+
+* ``inline`` — every shard's engine in this process, stepped in
+  lockstep.  Zero parallelism, identical schedule: the reference
+  backend the determinism tests diff against, and the debugging mode
+  (one process to step through).
+* ``process`` — one worker process per target shard over
+  ``multiprocessing`` pipes, the source shard in the parent.  Workers
+  are created with the ``fork`` start method when the platform offers
+  it (the built system transfers by address-space copy); otherwise the
+  default method pickles the system to the worker, which is equally
+  deterministic because target shards never mint request ids.
+
+Both backends drive the identical per-barrier sequence — inject due
+boundary messages, dispatch the window, exchange batches, fold epoch
+deltas on the source — so their reports are byte-identical to each
+other and to a single-process run.
+
+The pipe protocol is deadlock-free by construction: at every barrier
+each target *sends* its batch before *receiving* the source's, while
+the source receives from all targets before sending to any, so no
+send ever waits on a peer that is itself blocked sending.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import TYPE_CHECKING
+
+from repro.sim.engine import SimulationError
+from repro.sim.shard import ShardPlan, ShardRunner, window_schedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.system import System
+
+__all__ = ["run_sharded"]
+
+
+def run_sharded(
+    system: "System",
+    epochs: int,
+    shards: int,
+    backend: str = "process",
+) -> "System":
+    """Run ``epochs`` QoS epochs of ``system`` across ``shards`` engines.
+
+    Returns the (finalized) source-shard system, whose stats,
+    controllers, and queue structures are byte-equivalent to a
+    finalized single-process run of the same system.  The caller must
+    not call :meth:`System.finalize` again.
+    """
+    if epochs <= 0:
+        raise SimulationError("epochs must be positive")
+    if shards < 2:
+        raise SimulationError(
+            "run_sharded needs at least 2 shards; run the system directly "
+            "for a single-process simulation"
+        )
+    if system._epochs_started:
+        raise SimulationError("sharded runs need a freshly built system")
+    if system.engine.tracer is not None:
+        raise SimulationError(
+            "request tracing is not supported in sharded runs"
+        )
+    plan = ShardPlan.from_system(system, shards)
+    barriers = list(window_schedule(plan.lookahead, plan.epoch_cycles, epochs))
+    if backend == "inline":
+        return _run_inline(system, plan, barriers)
+    if backend == "process":
+        return _run_process(system, plan, barriers)
+    raise SimulationError(f"unknown shard backend {backend!r}")
+
+
+# ----------------------------------------------------------------------
+# inline backend (lockstep reference)
+# ----------------------------------------------------------------------
+def _run_inline(system: "System", plan: ShardPlan, barriers: list) -> "System":
+    from repro.runner.checkpoint import clone_system
+
+    runners = [ShardRunner(system, plan, 0)]
+    runners.extend(
+        ShardRunner(clone_system(system), plan, shard_id)
+        for shard_id in range(1, plan.num_shards)
+    )
+    for runner in runners:
+        runner.start()
+    source = runners[0]
+    for end, is_epoch in barriers:
+        for runner in runners:
+            runner.inject_due(end)
+        for runner in runners:
+            runner.run_window(end)
+        deltas = None
+        if is_epoch:
+            deltas = [
+                (runner.shard_id, runner.epoch_delta())
+                for runner in runners[1:]
+            ]
+        _exchange_inline(runners)
+        if is_epoch:
+            source.apply_epoch(deltas)
+    end = barriers[-1][0]
+    for runner in runners:
+        runner.inject_due(end + 1)
+    for runner in runners:
+        runner.run_tail(end)
+    # tail dispatch can still emit boundary messages (due past the run's
+    # end, so never injected) — ship them so the conservation counters
+    # on both sides agree
+    _exchange_inline(runners)
+    payloads = [
+        (runner.shard_id, runner.finalize_target()) for runner in runners[1:]
+    ]
+    source.finalize_source(payloads)
+    return system
+
+
+def _exchange_inline(runners: list[ShardRunner]) -> None:
+    moves = []
+    for runner in runners:
+        for dst in range(len(runners)):
+            if dst == runner.shard_id:
+                continue
+            batch = runner.take_outbox(dst)
+            if batch:
+                moves.append((runner.shard_id, dst, batch))
+    for src, dst, batch in moves:
+        runners[dst].receive(src, batch)
+
+
+# ----------------------------------------------------------------------
+# process backend
+# ----------------------------------------------------------------------
+def _context() -> multiprocessing.context.BaseContext:
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _send(conn, payload) -> None:
+    conn.send(("msg", payload))
+
+
+def _recv(conn, shard_id: int):
+    try:
+        kind, payload = conn.recv()
+    except EOFError:
+        raise SimulationError(
+            f"shard {shard_id} worker exited without a final message"
+        ) from None
+    if kind == "err":
+        raise SimulationError(f"shard {shard_id} worker failed:\n{payload}")
+    return payload
+
+
+def _target_main(conn, system: "System", plan: ShardPlan, shard_id: int, barriers: list) -> None:
+    """Worker entry point: run one target shard to completion."""
+    try:
+        runner = ShardRunner(system, plan, shard_id)
+        runner.start()
+        for end, is_epoch in barriers:
+            runner.inject_due(end)
+            runner.run_window(end)
+            delta = runner.epoch_delta() if is_epoch else None
+            _send(conn, (runner.take_outbox(0), delta))
+            runner.receive(0, _recv(conn, 0))
+        end = barriers[-1][0]
+        runner.inject_due(end + 1)
+        runner.run_tail(end)
+        _send(conn, runner.take_outbox(0))
+        runner.receive(0, _recv(conn, 0))
+        _send(conn, runner.finalize_target())
+    except BaseException:
+        try:
+            conn.send(("err", traceback.format_exc()))
+        except Exception:
+            pass
+        raise
+    finally:
+        conn.close()
+
+
+def _run_process(system: "System", plan: ShardPlan, barriers: list) -> "System":
+    ctx = _context()
+    conns: dict[int, object] = {}
+    workers: dict[int, object] = {}
+    target_ids = list(range(1, plan.num_shards))
+    try:
+        for shard_id in target_ids:
+            parent_conn, child_conn = ctx.Pipe()
+            worker = ctx.Process(
+                target=_target_main,
+                args=(child_conn, system, plan, shard_id, barriers),
+                name=f"repro-shard-{shard_id}",
+                daemon=True,
+            )
+            worker.start()
+            child_conn.close()
+            conns[shard_id] = parent_conn
+            workers[shard_id] = worker
+        # the parent's system becomes the source shard only *after* the
+        # workers hold their pristine copies
+        source = ShardRunner(system, plan, 0)
+        source.start()
+        for end, is_epoch in barriers:
+            source.inject_due(end)
+            source.run_window(end)
+            deltas = []
+            for shard_id in target_ids:
+                batch, delta = _recv(conns[shard_id], shard_id)
+                source.receive(shard_id, batch)
+                if is_epoch:
+                    deltas.append((shard_id, delta))
+            for shard_id in target_ids:
+                _send(conns[shard_id], source.take_outbox(shard_id))
+            if is_epoch:
+                source.apply_epoch(deltas)
+        end = barriers[-1][0]
+        source.inject_due(end + 1)
+        source.run_tail(end)
+        for shard_id in target_ids:
+            source.receive(shard_id, _recv(conns[shard_id], shard_id))
+        for shard_id in target_ids:
+            _send(conns[shard_id], source.take_outbox(shard_id))
+        payloads = [
+            (shard_id, _recv(conns[shard_id], shard_id))
+            for shard_id in target_ids
+        ]
+        source.finalize_source(payloads)
+        for shard_id in target_ids:
+            workers[shard_id].join(timeout=30)
+        return system
+    finally:
+        for conn in conns.values():
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for worker in workers.values():
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=5)

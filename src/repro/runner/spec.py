@@ -45,15 +45,24 @@ class RunSpec:
     seed: int = 0
     quick: bool = True
     overrides: Mapping[str, Any] = field(default_factory=dict)
+    #: Shard count the run executes under.  Sharded runs are
+    #: byte-identical to single-process ones, but the count (plus the
+    #: partition scheme) still enters the content hash: a determinism
+    #: bug in the shard runner must surface as a diff, never be papered
+    #: over by a cache hit recorded under a different shard count.
+    shards: int = 1
 
     def canonical_json(self) -> str:
         """Stable JSON encoding used for hashing and cache metadata."""
+        from repro.sim.shard import ShardPlan
+
         payload = {
             "figure": self.figure,
             "cell": _canonical(self.cell),
             "seed": self.seed,
             "quick": self.quick,
             "overrides": _canonical(self.overrides),
+            "sharding": {"shards": self.shards, "partition": ShardPlan.SCHEME},
         }
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
@@ -118,6 +127,7 @@ class RunSpec:
             seed=int(payload.get("seed", 0)),
             quick=bool(payload.get("quick", True)),
             overrides=dict(payload.get("overrides", {})),
+            shards=int(payload.get("shards", 1)),
         )
 
 
@@ -126,6 +136,7 @@ def specs_for_figure(
     quick: bool = True,
     seed: int = 0,
     overrides: Mapping[str, Any] | None = None,
+    shards: int = 1,
 ) -> list[RunSpec]:
     """Expand one figure's ``sweep_cells`` grid into :class:`RunSpec` s."""
     from repro.runner.worker import figure_module
@@ -139,6 +150,7 @@ def specs_for_figure(
             seed=seed,
             quick=quick,
             overrides=dict(overrides or {}),
+            shards=shards,
         )
         for cell in cells
     ]

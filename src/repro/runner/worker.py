@@ -65,20 +65,29 @@ def execute_spec(spec: "Any", warm_start_dir: str | None = None) -> dict[str, An
     """Run one :class:`RunSpec` in-process and time it."""
     from contextlib import nullcontext
 
-    from repro.experiments.common import config_overrides, warm_start
+    from repro.experiments.common import config_overrides, sharded, warm_start
     from repro.sim.engine import dispatched_total
 
+    shards = getattr(spec, "shards", 1)
     if warm_start_dir is not None:
+        if shards > 1:
+            from repro.sim.engine import SimulationError
+
+            raise SimulationError(
+                "sharded specs cannot warm-start: a checkpoint captures "
+                "one engine, not a shard ensemble"
+            )
         from repro.runner.checkpoint import CheckpointStore
 
         warming = warm_start(CheckpointStore(warm_start_dir))
     else:
         warming = nullcontext()
+    sharding = sharded(shards) if shards > 1 else nullcontext()
     module = figure_module(spec.figure)
     kwargs = _run_kwargs(spec.cell)
     events_before = dispatched_total()
     started = time.perf_counter()
-    with config_overrides(**dict(spec.overrides)), warming:
+    with config_overrides(**dict(spec.overrides)), warming, sharding:
         result = module.run(quick=spec.quick, seed=spec.seed, **kwargs)
     wall = time.perf_counter() - started
     events = dispatched_total() - events_before

@@ -53,6 +53,21 @@ pointer compare on the dominant dispatch path):
 The overflow heap stores ``(when, seq, entry)`` tuples; ``seq`` is unique
 among overflow entries, so heap comparison never falls through to the
 entry itself.
+
+Late phase
+----------
+
+Each cycle has a second, *late* bucket array (:meth:`TimingWheel.post_late_at`).
+All ordinary entries for cycle ``T`` dispatch first; then every late
+entry for ``T`` dispatches, in FIFO order.  The late phase exists for
+insertion-order canonicalization: producers whose *arrival order* at a
+component is scheduling-history dependent (NoC deliveries racing space
+notifications, read returns racing L3 hits) buffer their payloads and
+arm one late callback, which drains the buffer in a canonical sorted
+order.  The observable schedule then depends only on the buffered keys,
+never on which producer happened to post first — which is what lets a
+sharded run, whose producers fire in a completely different order,
+reproduce the single-process schedule bit for bit.
 """
 
 from __future__ import annotations
@@ -145,7 +160,8 @@ class TimingWheel:
     * ``_wheel_pos`` (and hence ``_horizon``) is non-decreasing — the
       property the FIFO-vs-overflow ordering proof rests on;
     * ``_wheel_count + len(_overflow)`` equals the queued entry count
-      (cancelled events included until their bucket is dispatched).
+      (cancelled events included until their bucket is dispatched),
+      counting both the ordinary and the late bucket arrays.
     """
 
     def __init__(self) -> None:
@@ -154,6 +170,7 @@ class TimingWheel:
         self._now = 0
         self._seq = 0
         self._wheel: list[list] = [[] for _ in range(_WHEEL_SIZE)]
+        self._wheel_late: list[list] = [[] for _ in range(_WHEEL_SIZE)]
         self._wheel_pos = 0
         self._horizon = _WHEEL_SIZE
         self._wheel_count = 0
@@ -331,6 +348,50 @@ class TimingWheel:
             self._seq = seq + 1
             heapq.heappush(self._overflow, (when, seq, entry))
 
+    def post_late_at(self, when: int, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` in cycle ``when``'s *late* phase.
+
+        Late entries dispatch after every ordinary entry at ``when``
+        (including same-cycle appends those entries make), in FIFO order.
+        Only near-term work may be late-posted: ``when`` must lie inside
+        the current wheel window, since the late array has no overflow
+        heap.  Every use in the simulator arms a drain for a cycle at
+        most one NoC hop away, so the window (4096 cycles) is never a
+        constraint in practice.
+        """
+        if type(when) is not int or when < self._now:
+            when = self._coerce_when(when)
+        if when >= self._horizon:
+            raise SimulationError(
+                f"late post at cycle {when} is beyond the wheel horizon "
+                f"{self._horizon}; late entries must be near-term"
+            )
+        self._live += 1
+        self._wheel_late[when & _WHEEL_MASK].append((callback, args))
+        self._wheel_count += 1
+
+    def advance_clock(self, when: int) -> None:
+        """Move the clock (and window) forward to ``when`` without dispatching.
+
+        Only legal when no queued entry precedes ``when`` — i.e. after
+        ``run_until(when - 1)`` has drained everything earlier.  Used by
+        window-synchronized drivers (epoch barriers, shard windows) that
+        need ``engine.now`` to stand at a boundary cycle *before* any of
+        that cycle's events run, so boundary work (epoch accounting,
+        cross-shard injection) observes the same clock in every mode.
+        """
+        if type(when) is not int:
+            when = self._as_cycles(when, "when")
+        if when < self._now:
+            raise SimulationError(
+                f"cannot advance the clock to {when}, current time is {self._now}"
+            )
+        self._now = when
+        if self._wheel_pos < when:
+            self._wheel_pos = when
+            self._horizon = when + _WHEEL_SIZE
+            self._refill()
+
     def _refill(self) -> None:
         """Move overflow entries now inside the window into their buckets.
 
@@ -361,6 +422,7 @@ class TimingWheel:
         if type(deadline) is not int:
             deadline = self._as_cycles(deadline, "deadline")
         wheel = self._wheel
+        late_wheel = self._wheel_late
         overflow = self._overflow
         sanitizer = self.sanitizer
         heappush = heapq.heappush
@@ -372,7 +434,7 @@ class TimingWheel:
         try:
             while pos <= deadline:
                 bucket = wheel[pos & mask]
-                if not bucket:
+                if not bucket and not late_wheel[pos & mask]:
                     if self._wheel_count:
                         pos += 1
                         if pos >= next_refill:
@@ -468,6 +530,78 @@ class TimingWheel:
                         dispatched += 1
                 self._wheel_count -= len(bucket)
                 bucket.clear()
+                late = late_wheel[pos & mask]
+                if late:
+                    # ---- late phase ----
+                    # Swap the (now empty) ordinary slot to the late list
+                    # so zero-delay posts made by late callbacks land in
+                    # the list being iterated instead of being lost; the
+                    # late slot itself aliases the same list, so further
+                    # post_late_at(now) calls are picked up too.
+                    wheel[pos & mask] = late
+                    if sanitizer is None:
+                        skipped = 0
+                        for entry in late:
+                            if type(entry) is tuple:
+                                entry[0](*entry[1])
+                            elif type(entry) is list:
+                                entry[0](*entry[1])
+                                when2 = pos + entry[2]
+                                self._live += 1
+                                if when2 < horizon:
+                                    wheel[when2 & mask].append(
+                                        (entry[3], entry[4])
+                                    )
+                                    self._wheel_count += 1
+                                else:
+                                    seq = self._seq
+                                    self._seq = seq + 1
+                                    heappush(
+                                        overflow,
+                                        (when2, seq, (entry[3], entry[4])),
+                                    )
+                            else:
+                                if entry.cancelled:
+                                    skipped += 1
+                                    continue
+                                entry.fired = True
+                                entry.callback(*entry.args)
+                        dispatched += len(late) - skipped
+                    else:
+                        for entry in late:
+                            if type(entry) is tuple:
+                                sanitizer.on_event(pos, prev)
+                                prev = pos
+                                entry[0](*entry[1])
+                            elif type(entry) is list:
+                                sanitizer.on_event(pos, prev)
+                                prev = pos
+                                entry[0](*entry[1])
+                                when2 = pos + entry[2]
+                                self._live += 1
+                                if when2 < horizon:
+                                    wheel[when2 & mask].append(
+                                        (entry[3], entry[4])
+                                    )
+                                    self._wheel_count += 1
+                                else:
+                                    seq = self._seq
+                                    self._seq = seq + 1
+                                    heappush(
+                                        overflow,
+                                        (when2, seq, (entry[3], entry[4])),
+                                    )
+                            else:
+                                if entry.cancelled:
+                                    continue
+                                sanitizer.on_event(pos, prev)
+                                prev = pos
+                                entry.fired = True
+                                entry.callback(*entry.args)
+                            dispatched += 1
+                    self._wheel_count -= len(late)
+                    late.clear()
+                    wheel[pos & mask] = bucket
                 pos += 1
                 # callbacks may have pushed new far-future work
                 next_refill = overflow[0][0] - _WHEEL_SIZE + 1 if overflow else _NEVER
@@ -500,6 +634,7 @@ class TimingWheel:
         the clock stands at the aborted bucket's timestamp.
         """
         wheel = self._wheel
+        late_wheel = self._wheel_late
         overflow = self._overflow
         sanitizer = self.sanitizer
         dispatched = 0
@@ -516,7 +651,7 @@ class TimingWheel:
                     self._refill()
                     continue
                 bucket = wheel[pos & _WHEEL_MASK]
-                if not bucket:
+                if not bucket and not late_wheel[pos & _WHEEL_MASK]:
                     pos += 1
                     if overflow and overflow[0][0] - _WHEEL_SIZE + 1 <= pos:
                         self._wheel_pos = pos
@@ -564,6 +699,56 @@ class TimingWheel:
                     index += 1
                 self._wheel_count -= index
                 bucket.clear()
+                late = late_wheel[pos & _WHEEL_MASK]
+                if late:
+                    # late phase: same slot-swap as run_until, so a late
+                    # callback's zero-delay posts land in the list being
+                    # walked instead of the cleared ordinary bucket
+                    wheel[pos & _WHEEL_MASK] = late
+                    index = 0
+                    while index < len(late):
+                        entry = late[index]
+                        entry_type = type(entry)
+                        is_event = entry_type is not tuple and entry_type is not list
+                        if is_event and entry.cancelled:
+                            index += 1
+                            continue
+                        if max_events is not None and dispatched >= max_events:
+                            del late[:index]
+                            self._wheel_count -= index
+                            self._now = pos
+                            wheel[pos & _WHEEL_MASK] = bucket
+                            raise SimulationError(
+                                f"exceeded max_events={max_events}"
+                            )
+                        if sanitizer is not None:
+                            sanitizer.on_event(pos, self._now)
+                        self._now = pos
+                        if is_event:
+                            entry.fired = True
+                            entry.callback(*entry.args)
+                        else:
+                            entry[0](*entry[1])
+                            if entry_type is list:
+                                when2 = pos + entry[2]
+                                self._live += 1
+                                if when2 < self._horizon:
+                                    wheel[when2 & _WHEEL_MASK].append(
+                                        (entry[3], entry[4])
+                                    )
+                                    self._wheel_count += 1
+                                else:
+                                    seq = self._seq
+                                    self._seq = seq + 1
+                                    heapq.heappush(
+                                        overflow,
+                                        (when2, seq, (entry[3], entry[4])),
+                                    )
+                        dispatched += 1
+                        index += 1
+                    self._wheel_count -= index
+                    late.clear()
+                    wheel[pos & _WHEEL_MASK] = bucket
                 pos += 1
         finally:
             self._live -= dispatched

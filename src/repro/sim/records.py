@@ -109,6 +109,12 @@ class MemoryRequest:
     l3_hit: bool = False
     caused_writeback: bool = False
     virtual_deadline: int = 0
+    #: Global NoC injection sequence number, stamped by the system when
+    #: the request enters the network.  Ingress pumps and the response
+    #: inbox sort on it, making admission/delivery order a function of
+    #: the traffic instead of event insertion order (and therefore
+    #: identical between single-process and sharded runs).
+    noc_seq: int = -1
 
     # Derived from ``access`` once at construction: these flags sit on the
     # controller's per-pass hot path, where a property doing an enum

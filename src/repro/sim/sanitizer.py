@@ -36,7 +36,28 @@ from __future__ import annotations
 from repro.sim.engine import _WHEEL_MASK, _WHEEL_SIZE, Event, SimulationError
 from repro.sim.records import MemoryRequest
 
-__all__ = ["SimSanitizer"]
+__all__ = ["SimSanitizer", "check_boundary_conservation"]
+
+
+def check_boundary_conservation(
+    pairs: list[tuple[int, int, int, int]],
+) -> None:
+    """Verify cross-shard message conservation at the end of a sharded run.
+
+    ``pairs`` holds one ``(src_shard, dst_shard, sent, received)`` tuple
+    per directed shard link: ``sent`` counted by the sender's runner,
+    ``received`` by the receiver's.  A mismatch means a boundary batch
+    was lost, duplicated, or delivered to the wrong shard — the sharded
+    analogue of the single-process conservation check, covering the
+    transport the per-engine sanitizers cannot see.
+    """
+    for src_shard, dst_shard, sent, received in pairs:
+        if sent != received:
+            raise SimulationError(
+                "sanitizer: cross-shard message conservation violated on "
+                f"link {src_shard}->{dst_shard}: sender counted {sent} "
+                f"message(s), receiver counted {received}"
+            )
 
 
 class SimSanitizer:
@@ -215,7 +236,10 @@ class SimSanitizer:
                 f"restored clock outside its wheel window: now={now}, "
                 f"wheel_pos={wheel_pos}"
             )
+        # _wheel_count spans both phases: the main wheel and the late
+        # wheel (whose entries are all fire-and-forget tuples)
         bucket_entries = sum(len(bucket) for bucket in engine._wheel)
+        bucket_entries += sum(len(bucket) for bucket in engine._wheel_late)
         if bucket_entries != engine._wheel_count:
             self._fail(
                 f"restored wheel count is stale: _wheel_count="
@@ -233,6 +257,8 @@ class SimSanitizer:
                 )
                 if not entry.cancelled:
                     live += 1
+        # late-phase entries are uncancellable fire-and-forget tuples
+        live += sum(len(bucket) for bucket in engine._wheel_late)
         overflow = engine._overflow
         for heap_index, (when, seq, entry) in enumerate(overflow):
             if when < wheel_pos:

@@ -178,7 +178,10 @@ class Stats:
             epoch=len(self.epochs),
             start_cycle=self._last_epoch_end,
             end_cycle=now,
-            bytes_by_class=dict(self._epoch_bytes),
+            # canonical key order: the dict's insertion order otherwise
+            # reflects which class completed a request first, which a
+            # sharded run (merging per-shard deltas) cannot reproduce
+            bytes_by_class=dict(sorted(self._epoch_bytes.items())),
             saturated=saturated,
             multiplier=multiplier,
         )

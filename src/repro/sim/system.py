@@ -21,6 +21,7 @@ from __future__ import annotations
 from bisect import bisect_left, insort
 from collections import deque
 from functools import partial
+from operator import attrgetter, itemgetter
 from typing import Callable
 
 from repro.cache.hierarchy import CacheHierarchy, HierarchyOutcome, HitLevel
@@ -43,6 +44,9 @@ from repro.sim.topology import AddressMap, MeshTopology
 from repro.workloads.base import Access, Workload
 
 __all__ = ["System"]
+
+_BY_NOC_SEQ = attrgetter("noc_seq")
+_BY_KEY = itemgetter(0)
 
 
 class System:
@@ -117,6 +121,26 @@ class System:
         self._mc_pending_writes: list[deque[MemoryRequest]] = [
             deque() for _ in range(config.num_mcs)
         ]
+        # NoC injection sequence, stamped on every request entering the
+        # network.  The ingress pumps sort arrivals on it, so admission
+        # order is a pure function of the traffic — not of the order the
+        # delivery events happened to be inserted — which is what lets a
+        # sharded run reproduce the single-process schedule exactly.
+        self._noc_seq = 0
+        # per-MC ingress pump state: same-cycle arrivals buffer here and a
+        # late-phase pump admits them (backlog first, then arrivals in
+        # noc_seq order); a space hint from the controller re-runs the
+        # backlog admission through the same pump
+        self._mc_arrivals: list[list[MemoryRequest]] = [
+            [] for _ in range(config.num_mcs)
+        ]
+        self._mc_pump_armed = [False] * config.num_mcs
+        self._mc_space_hint = [False] * config.num_mcs
+        # response inbox: every response landing at the source in cycle T
+        # buffers here and a late-phase flush delivers the batch in a
+        # canonical key order (L3 hits by injection order, then memory
+        # reads by (mc, bus-slot end))
+        self._resp_inbox: list[tuple] = []
         for controller in self.controllers:
             controller.on_read_complete = self._on_read_complete
             controller.add_space_listener(self._on_mc_space)
@@ -149,7 +173,7 @@ class System:
                     for core_id in range(config.cores)
                 ],
                 cores=core_list,
-                respond=self._respond,
+                respond=self._enqueue_response,
             )
 
         self.saturation = SaturationMonitor(
@@ -173,6 +197,7 @@ class System:
         self._register_obs()
 
         self._epochs_started = False
+        self._next_epoch_at = 0
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -223,15 +248,33 @@ class System:
     # running
     # ------------------------------------------------------------------
     def run(self, cycles: int) -> None:
-        """Advance the simulation by ``cycles`` (callable repeatedly)."""
+        """Advance the simulation by ``cycles`` (callable repeatedly).
+
+        Epoch ticks are driven by this loop, not by a self-reposting
+        event: the engine runs to each boundary minus one, the clock is
+        advanced onto the boundary, and the tick runs before any of the
+        boundary cycle's events.  Driving the tick from outside the
+        event queue pins its position in the schedule (start-of-cycle,
+        always), which a queued tick cannot guarantee once it round-trips
+        through the overflow heap — and it gives window-synchronized
+        runners (shard barriers) the same boundary semantics for free.
+        """
         if cycles <= 0:
             raise ValueError("cycles must be positive")
         for core in self.cores.values():
             core.start()
+        engine = self.engine
         if not self._epochs_started:
             self._epochs_started = True
-            self.engine.post(self.config.epoch_cycles, self._epoch_tick)
-        self.engine.run_until(self.engine.now + cycles)
+            self._next_epoch_at = engine.now + self.config.epoch_cycles
+        end = engine.now + cycles
+        while self._next_epoch_at <= end:
+            boundary = self._next_epoch_at
+            engine.run_until(boundary - 1)
+            engine.advance_clock(boundary)
+            self._epoch_tick()
+            self._next_epoch_at = boundary + self.config.epoch_cycles
+        engine.run_until(end)
 
     def run_epochs(self, epochs: int) -> None:
         """Advance by a whole number of QoS epochs."""
@@ -245,6 +288,9 @@ class System:
             self.engine.sanitizer.on_run_end(self.stats)
 
     def _epoch_tick(self) -> None:
+        """One epoch boundary: sample saturation, drive the mechanism,
+        close the stats window.  Runs at start-of-boundary-cycle, before
+        any of that cycle's events (see :meth:`run`)."""
         saturated = self.saturation.sample()
         self.mechanism.on_epoch(saturated, tuple(self.saturation.last_signals))
         self.stats.close_epoch(
@@ -252,7 +298,6 @@ class System:
             saturated=saturated,
             multiplier=self.mechanism.multiplier(),
         )
-        self.engine.post(self.config.epoch_cycles, self._epoch_tick)
 
     # ------------------------------------------------------------------
     # memory-access path (called by cores)
@@ -334,6 +379,8 @@ class System:
         """The request passed the pacer and enters the SoC network."""
         engine = self.engine
         req.released_at = engine._now
+        req.noc_seq = self._noc_seq
+        self._noc_seq += 1
         if engine.tracer is not None:
             engine.tracer.released(req)
         core_id = core.core_id
@@ -341,11 +388,13 @@ class System:
         if req.l3_hit:
             when = engine._now + self._hit_delay[core_id][slice_tile]
             if when < engine._horizon:
-                engine._wheel[when & _WHEEL_MASK].append((self._respond, (core, req)))
+                engine._wheel[when & _WHEEL_MASK].append(
+                    (self._enqueue_response, (core, req))
+                )
                 engine._wheel_count += 1
                 engine._live += 1
             else:
-                engine.post_at(when, self._respond, core, req)
+                engine.post_at(when, self._enqueue_response, core, req)
             return
 
         # one decode stamps the full route (mc/bank/row) so the controller's
@@ -385,6 +434,8 @@ class System:
         )
         wb.created_at = self.engine._now
         wb.released_at = self.engine._now
+        wb.noc_seq = self._noc_seq
+        self._noc_seq += 1
         _, wb.mc_id, wb.bank_id, wb.row_id = self._decode(info.addr)
         if self.engine.sanitizer is not None:
             self.engine.sanitizer.on_inject(wb)
@@ -395,18 +446,56 @@ class System:
         self.engine.post(delay, self._deliver, wb)
 
     def _deliver(self, req: MemoryRequest) -> None:
-        """Arrival at the MC; a full front-end queue backs up outside it."""
-        if req.is_memory_write:
-            pending = self._mc_pending_writes[req.mc_id]
-            if pending or not self.controllers[req.mc_id].try_enqueue(req):
-                pending.append(req)
+        """Arrival at the MC edge: buffer it and arm this cycle's pump.
+
+        All of a cycle's arrivals admit together in the late phase, in
+        ``noc_seq`` order, so the admission sequence (and therefore the
+        arbiter's virtual-deadline assignment) never depends on the
+        order their delivery events were inserted.
+        """
+        buf = self._mc_arrivals[req.mc_id]
+        buf.append(req)
+        if not self._mc_pump_armed[req.mc_id]:
+            self._mc_pump_armed[req.mc_id] = True
+            self.engine.post_late_at(self.engine._now, self._pump_mc, req.mc_id)
+
+    def _pump_mc(self, mc_id: int) -> None:
+        """Late-phase ingress pump for one MC.
+
+        Backlogged requests admit first (they are older than anything
+        arriving this cycle), then the cycle's arrivals in ``noc_seq``
+        order.  The pump re-arms itself (via the space hint) if admission
+        triggers a scheduling pass that frees more queue space within
+        the same late phase.
+        """
+        self._mc_pump_armed[mc_id] = False
+        controller = self.controllers[mc_id]
+        if self._mc_space_hint[mc_id]:
+            self._mc_space_hint[mc_id] = False
+            self._admit_pending_reads(mc_id)
+            pending_writes = self._mc_pending_writes[mc_id]
+            while pending_writes:
+                if not controller.try_enqueue(pending_writes[0]):
+                    break
+                pending_writes.popleft()
+        buf = self._mc_arrivals[mc_id]
+        if not buf:
             return
-        per_core = self._mc_pending_reads[req.mc_id].get(req.core_id)
-        if per_core:
-            per_core.append(req)
-            return
-        if not self.controllers[req.mc_id].try_enqueue(req):
-            self._queue_pending_read(req.mc_id, req)
+        arrivals = buf[:]
+        buf.clear()
+        arrivals.sort(key=_BY_NOC_SEQ)
+        pending_reads = self._mc_pending_reads[mc_id]
+        for req in arrivals:
+            if req.is_memory_write:
+                pending = self._mc_pending_writes[mc_id]
+                if pending or not controller.try_enqueue(req):
+                    pending.append(req)
+                continue
+            per_core = pending_reads.get(req.core_id)
+            if per_core:
+                per_core.append(req)
+            elif not controller.try_enqueue(req):
+                self._queue_pending_read(mc_id, req)
 
     def _queue_pending_read(self, mc_id: int, req: MemoryRequest) -> None:
         """Append a backpressured read to its source's overflow FIFO.
@@ -450,20 +539,48 @@ class System:
                 return
 
     def _on_mc_space(self, mc_id: int) -> None:
-        self._admit_pending_reads(mc_id)
-        controller = self.controllers[mc_id]
-        pending_writes = self._mc_pending_writes[mc_id]
-        while pending_writes:
-            if not controller.try_enqueue(pending_writes[0]):
-                break
-            pending_writes.popleft()
+        """Synchronous space hint from the controller: run the pump late.
+
+        Called inline from the controller's scheduling pass the moment a
+        read issues.  The actual admission happens in the pump, so
+        backlog admission order is canonical no matter which pass (or
+        which shard's message) produced the hint.
+        """
+        self._mc_space_hint[mc_id] = True
+        if not self._mc_pump_armed[mc_id]:
+            self._mc_pump_armed[mc_id] = True
+            self.engine.post_late_at(self.engine._now, self._pump_mc, mc_id)
 
     def _on_read_complete(self, req: MemoryRequest) -> None:
         core = self.cores.get(req.core_id)
         if core is None:
             return
         delay = self.topology.tile_to_mc_latency(core.core_id, req.mc_id)
-        self.engine.post(delay, self._respond, core, req)
+        self.engine.post(delay, self._enqueue_response, core, req)
+
+    def _enqueue_response(self, core: Core, req: MemoryRequest) -> None:
+        """Buffer a response arriving at the source tile this cycle.
+
+        The late-phase flush delivers the cycle's batch in one canonical
+        order: L3 hits by injection sequence first, then memory reads by
+        ``(mc_id, bus-slot end)`` — every key is unique (the data bus
+        serializes completions per MC), so the sort is total and the
+        delivery order is independent of event insertion order.
+        """
+        inbox = self._resp_inbox
+        if not inbox:
+            self.engine.post_late_at(self.engine._now, self._flush_responses)
+        if req.l3_hit:
+            inbox.append(((0, req.noc_seq, 0), core, req))
+        else:
+            inbox.append(((1, req.mc_id, req.completed_at), core, req))
+
+    def _flush_responses(self) -> None:
+        inbox = self._resp_inbox
+        self._resp_inbox = []
+        inbox.sort(key=_BY_KEY)
+        for _, core, req in inbox:
+            self._respond(core, req)
 
     def _respond(self, core: Core, req: MemoryRequest) -> None:
         """Response reached the source tile: notify mechanism, wake waiters."""

@@ -250,6 +250,53 @@ class TestPerf003SerializationConfinement:
         assert codes("import pickle  # repro: noqa[PERF003]\n") == []
 
 
+class TestPerf004ProcessParallelismConfinement:
+    def test_import_in_sim_module_fires(self):
+        assert codes("import multiprocessing\n") == ["PERF004"]
+
+    def test_from_import_fires(self):
+        assert codes("from multiprocessing import Pipe\n") == ["PERF004"]
+
+    def test_concurrent_futures_fires(self):
+        assert codes("import concurrent.futures\n", REPRO_PATH) == ["PERF004"]
+        assert codes(
+            "from concurrent.futures import ProcessPoolExecutor\n", REPRO_PATH
+        ) == ["PERF004"]
+        assert codes(
+            "from concurrent import futures\n", REPRO_PATH
+        ) == ["PERF004"]
+
+    def test_submodule_import_fires(self):
+        assert codes(
+            "from multiprocessing.connection import Connection\n", REPRO_PATH
+        ) == ["PERF004"]
+
+    def test_runner_modules_are_allowed(self):
+        assert codes(
+            "import multiprocessing\n", "src/repro/runner/shardpool.py"
+        ) == []
+        assert codes(
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            "src/repro/runner/pool.py",
+        ) == []
+
+    def test_shard_module_is_allowed(self):
+        assert codes(
+            "import multiprocessing\n", "src/repro/sim/shard.py"
+        ) == []
+
+    def test_tests_are_out_of_scope(self):
+        assert codes("import multiprocessing\n", TEST_PATH) == []
+
+    def test_unrelated_concurrent_name_ok(self):
+        assert codes("from concurrent import interpreters\n", REPRO_PATH) == []
+
+    def test_noqa_suppresses(self):
+        assert codes(
+            "import multiprocessing  # repro: noqa[PERF004]\n"
+        ) == []
+
+
 class TestNoqaForms:
     def test_bare_noqa_suppresses_everything(self):
         assert codes("seed = hash(when / 2)  # repro: noqa\n") == []
@@ -275,7 +322,7 @@ class TestDriver:
     def test_registry_covers_documented_rules(self):
         assert set(RULES) == {
             "DET001", "DET002", "DET003", "DET004", "DET005", "SIM001",
-            "PERF001", "PERF002", "PERF003",
+            "PERF001", "PERF002", "PERF003", "PERF004",
         }
 
     def test_main_exit_codes(self, tmp_path: Path, capsys):

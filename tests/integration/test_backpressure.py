@@ -35,13 +35,19 @@ def read_for(system, core_id, index):
     )
     req.created_at = system.engine.now
     req.released_at = system.engine.now
+    req.noc_seq = system._noc_seq
+    system._noc_seq += 1
     req.mc_id = 0
     return req
 
 
 class TestRoundRobinAdmission:
     def _flood(self, system, per_core=30):
-        """Fill controller 0 and build per-core overflow queues."""
+        """Fill controller 0 and build per-core overflow queues.
+
+        Arrivals buffer until the cycle's late-phase ingress pump runs,
+        so the flood finishes by dispatching the current cycle.
+        """
         delivered = []
         for index in range(per_core):
             for core in system.cores:
@@ -49,6 +55,7 @@ class TestRoundRobinAdmission:
                 req.mc_id = 0
                 system._deliver(req)
                 delivered.append(req)
+        system.engine.run_until(system.engine.now)
         return delivered
 
     def test_overflow_lands_in_per_core_fifos(self):

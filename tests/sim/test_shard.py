@@ -1,0 +1,317 @@
+"""Sharded simulation: partition, windows, canonical order, determinism.
+
+The byte-identity tests at the bottom are the sharding subsystem's
+contract: a sharded run of a figure config must reproduce the committed
+single-process golden report byte-for-byte at any shard count, on both
+the inline lockstep backend and the process backend (DESIGN.md §11).
+"""
+
+from dataclasses import replace
+from random import Random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pabst import PabstMechanism
+from repro.qos.classes import QoSRegistry
+from repro.runner.checkpoint import clone_system
+from repro.runner.shardpool import run_sharded
+from repro.sim.config import SystemConfig
+from repro.sim.engine import SimulationError
+from repro.sim.shard import (
+    ShardPlan,
+    ShardRunner,
+    shard_seed,
+    sort_boundary_batch,
+    window_schedule,
+)
+from repro.sim.system import System
+from repro.workloads.stream import StreamWorkload
+
+
+def make_system(num_mcs=2, cores=2, seed=0, sanitize=False):
+    config = replace(SystemConfig.small_test(), num_mcs=num_mcs)
+    registry = QoSRegistry()
+    registry.define_class(0, "hi", weight=3)
+    registry.define_class(1, "lo", weight=1)
+    workloads = {}
+    for core in range(cores):
+        registry.assign_core(core, 0 if core < cores // 2 else 1)
+        workloads[core] = StreamWorkload()
+    return System(
+        config,
+        registry,
+        workloads,
+        mechanism=PabstMechanism(),
+        seed=seed,
+        sanitize=sanitize,
+    )
+
+
+class TestShardSeed:
+    def test_deterministic(self):
+        assert shard_seed(7, 1) == shard_seed(7, 1)
+
+    def test_distinct_per_shard_and_root(self):
+        seeds = {shard_seed(root, shard) for root in (0, 1) for shard in range(4)}
+        assert len(seeds) == 8
+
+    def test_pinned_value(self):
+        """sha256 derivation is part of the determinism contract: a
+        change here silently re-seeds every sharded run."""
+        import hashlib
+
+        digest = hashlib.sha256(b"7.shard.2").digest()
+        assert shard_seed(7, 2) == int.from_bytes(digest[:8], "big")
+
+
+class TestWindowSchedule:
+    def test_partitions_the_run(self):
+        barriers = list(window_schedule(7, 20, 2))
+        assert barriers[-1] == (40, True)
+        ends = [end for end, _ in barriers]
+        assert ends == sorted(set(ends))
+
+    def test_epoch_boundaries_are_barriers(self):
+        barriers = list(window_schedule(7, 20, 3))
+        epoch_ends = [end for end, is_epoch in barriers if is_epoch]
+        assert epoch_ends == [20, 40, 60]
+
+    def test_windows_never_exceed_lookahead(self):
+        previous = 0
+        for end, _ in window_schedule(7, 20, 3):
+            assert 0 < end - previous <= 7
+            previous = end
+
+    def test_lookahead_wider_than_epoch(self):
+        assert list(window_schedule(50, 20, 2)) == [(20, True), (40, True)]
+
+    def test_rejects_zero_lookahead(self):
+        with pytest.raises(SimulationError):
+            list(window_schedule(0, 20, 1))
+
+
+class TestShardPlan:
+    def test_every_mc_owned_by_exactly_one_target(self):
+        for num_shards in (2, 3, 4, 5):
+            for num_mcs in (1, 2, 4, 32):
+                plan = ShardPlan(
+                    num_shards=num_shards,
+                    num_mcs=num_mcs,
+                    lookahead=4,
+                    epoch_cycles=500,
+                )
+                owned = [
+                    mc
+                    for shard in range(num_shards)
+                    for mc in plan.mcs_of_shard(shard)
+                ]
+                assert sorted(owned) == list(range(num_mcs))
+                assert plan.mcs_of_shard(0) == ()
+
+    def test_surplus_target_shards_own_nothing(self):
+        plan = ShardPlan(num_shards=4, num_mcs=2, lookahead=4, epoch_cycles=500)
+        assert [plan.mcs_of_shard(s) for s in range(4)] == [(), (0,), (1,), ()]
+
+    def test_rejects_single_shard(self):
+        with pytest.raises(SimulationError):
+            ShardPlan(num_shards=1, num_mcs=2, lookahead=4, epoch_cycles=500)
+
+    def test_from_system_uses_min_link_latency(self):
+        system = make_system()
+        plan = ShardPlan.from_system(system, 2)
+        assert plan.lookahead == system.topology.min_tile_to_mc_latency()
+        assert plan.lookahead >= 1
+
+
+@given(
+    batch=st.lists(
+        st.tuples(
+            st.integers(0, 50),  # when
+            st.integers(0, 3),  # src_shard
+            st.integers(0, 1000),  # seq
+        ),
+        unique=True,
+        max_size=40,
+    ),
+    data=st.data(),
+)
+def test_property_boundary_order_is_arrival_invariant(batch, data):
+    shuffled = data.draw(st.permutations(batch))
+    assert sort_boundary_batch(shuffled) == sort_boundary_batch(batch)
+    assert sort_boundary_batch(batch) == sorted(batch)
+
+
+# ----------------------------------------------------------------------
+# shuffled-arrival determinism against the single-engine reference
+# ----------------------------------------------------------------------
+EPOCHS = 2
+
+
+def _digest(system):
+    """Salient end-of-run state, equal iff two runs took one schedule."""
+    stats = system.stats
+    per_class = {
+        qos_id: (
+            cs.bytes_read,
+            cs.bytes_written,
+            cs.reads_completed,
+            cs.writes_completed,
+            cs.read_latency_sum,
+            cs.read_latency_max,
+            cs.stage_noc_sum,
+            cs.stage_queue_sum,
+            cs.stage_service_sum,
+        )
+        for qos_id, cs in sorted(stats.classes.items())
+    }
+    return (
+        system.engine.now,
+        stats.requests_enqueued,
+        stats.requests_rejected,
+        stats.bus_busy_cycles,
+        stats.mc_active_cycles,
+        per_class,
+    )
+
+
+def _run_shuffled(system, shards, rng: Random):
+    """The inline lockstep loop with adversarial message transport:
+    every exchange splits each boundary batch into random fragments and
+    delivers all fragments in a random global order."""
+    plan = ShardPlan.from_system(system, shards)
+    barriers = list(
+        window_schedule(plan.lookahead, plan.epoch_cycles, EPOCHS)
+    )
+    runners = [ShardRunner(system, plan, 0)]
+    runners.extend(
+        ShardRunner(clone_system(system), plan, shard_id)
+        for shard_id in range(1, shards)
+    )
+    for runner in runners:
+        runner.start()
+
+    def exchange():
+        moves = []
+        for runner in runners:
+            for dst in range(shards):
+                if dst == runner.shard_id:
+                    continue
+                batch = runner.take_outbox(dst)
+                while batch:
+                    cut = rng.randint(1, len(batch))
+                    moves.append((runner.shard_id, dst, batch[:cut]))
+                    batch = batch[cut:]
+        rng.shuffle(moves)
+        for src, dst, fragment in moves:
+            runners[dst].receive(src, fragment)
+
+    source = runners[0]
+    for end, is_epoch in barriers:
+        for runner in runners:
+            runner.inject_due(end)
+        for runner in runners:
+            runner.run_window(end)
+        deltas = None
+        if is_epoch:
+            deltas = [
+                (runner.shard_id, runner.epoch_delta())
+                for runner in runners[1:]
+            ]
+        exchange()
+        if is_epoch:
+            source.apply_epoch(deltas)
+    end = barriers[-1][0]
+    for runner in runners:
+        runner.inject_due(end + 1)
+    for runner in runners:
+        runner.run_tail(end)
+    exchange()
+    source.finalize_source(
+        [(runner.shard_id, runner.finalize_target()) for runner in runners[1:]]
+    )
+    return system
+
+
+@settings(max_examples=8, deadline=None)
+@given(rng=st.randoms(use_true_random=False), shards=st.sampled_from([2, 3]))
+def test_property_shuffled_arrival_matches_single_engine(rng, shards):
+    reference = make_system()
+    reference.run_epochs(EPOCHS)
+    reference.finalize()
+    sharded = _run_shuffled(make_system(), shards, rng)
+    assert _digest(sharded) == _digest(reference)
+
+
+# ----------------------------------------------------------------------
+# backend equivalence and guards
+# ----------------------------------------------------------------------
+class TestRunSharded:
+    def test_inline_matches_single_engine_with_sanitizer(self):
+        reference = make_system(sanitize=True)
+        reference.run_epochs(EPOCHS)
+        reference.finalize()
+        sharded = run_sharded(
+            make_system(sanitize=True), EPOCHS, 2, backend="inline"
+        )
+        assert _digest(sharded) == _digest(reference)
+
+    def test_more_shards_than_mcs_still_exact(self):
+        reference = make_system()
+        reference.run_epochs(EPOCHS)
+        reference.finalize()
+        sharded = run_sharded(make_system(), EPOCHS, 4, backend="inline")
+        assert _digest(sharded) == _digest(reference)
+
+    def test_rejects_started_system(self):
+        system = make_system()
+        system.run_epochs(1)
+        with pytest.raises(SimulationError):
+            run_sharded(system, 1, 2, backend="inline")
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SimulationError):
+            run_sharded(make_system(), 1, 2, backend="threads")
+
+
+# ----------------------------------------------------------------------
+# byte-identity against the committed golden reports
+# ----------------------------------------------------------------------
+def _golden(filename):
+    from pathlib import Path
+
+    path = (
+        Path(__file__).parent.parent / "experiments" / "golden" / filename
+    )
+    return path.read_text(encoding="utf-8")
+
+
+GOLDEN_CASES = [
+    ("fig05_proportional", "fig05_quick_seed0.txt", 2, "inline"),
+    ("fig05_proportional", "fig05_quick_seed0.txt", 4, "inline"),
+    ("fig05_proportional", "fig05_quick_seed0.txt", 2, "process"),
+    ("fig06_work_conserving", "fig06_quick_seed0.txt", 2, "inline"),
+    ("fig07_source_and_target", "fig07_quick_seed0.txt", 2, "inline"),
+]
+
+
+@pytest.mark.parametrize(
+    "module_name,filename,shards,backend",
+    GOLDEN_CASES,
+    ids=[f"{m}-x{s}-{b}" for m, _, s, b in GOLDEN_CASES],
+)
+def test_sharded_report_matches_golden_bytes(
+    module_name, filename, shards, backend
+):
+    import importlib
+
+    from repro.experiments.common import sharded
+
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    with sharded(shards, backend=backend):
+        actual = module.run(quick=True, seed=0).report() + "\n"
+    assert actual == _golden(filename), (
+        f"{module_name} at --shards {shards} ({backend}) diverged from the "
+        "single-process golden report: the shard runner broke determinism"
+    )
