@@ -1,0 +1,1234 @@
+/* _wheelcore.c — compiled dispatch core for the repro timing wheel.
+ *
+ * This extension reimplements the two hot-kernel dispatch loops of
+ * repro.sim.engine.TimingWheel (run_until, run) plus the memory
+ * controller's bank-ready/row-hit scan, behind a base type the Python
+ * backend classes subclass.  It is a *mirror*, not a redesign: every
+ * loop below is a line-for-line port of the pure-Python reference, and
+ * the determinism contract is byte-identical dispatch order — see
+ * DESIGN.md §12 for the argument.
+ *
+ * Marshal compatibility: all scheduler state lives in Python-visible
+ * members (plain lists for the wheel/overflow, C long longs for the
+ * counters, exposed as attributes with the exact names the pure class
+ * uses).  The pure-Python scheduling entry points (schedule/post/...),
+ * the sanitizer, the checkpoint pickler, and the inlined wheel inserts
+ * in system.py/controller.py therefore operate on a WheelCore instance
+ * unchanged, and wheel state moves losslessly between backends.
+ *
+ * Overflow-heap layout: the siftup/siftdown routines replicate CPython
+ * heapq's algorithms exactly (element comparisons via PyObject_RichCompareBool
+ * on the (when, seq, entry) tuples), so a heap built by any mix of C
+ * and Python pushes has the identical array layout — which the
+ * sanitizer's on_restore heap-order audit and cross-backend checkpoint
+ * restores both rely on.
+ *
+ * Build: gcc -O2 -shared -fPIC (see repro.accel.build); no libraries
+ * beyond Python.h.
+ */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+
+#define WHEEL_BITS 12
+#define WHEEL_SIZE (1LL << WHEEL_BITS)
+#define WHEEL_MASK (WHEEL_SIZE - 1)
+/* Pure code uses 1 << 63 for "no refill pending"; the C loop never
+ * materializes the sentinel as a Python int, so LLONG_MAX serves. */
+#define NEVER_LL LLONG_MAX
+
+/* SimulationError, injected by repro.accel after load (_install). */
+static PyObject *g_sim_error = NULL;
+/* Process-wide dispatch counter for this backend; engine.dispatched_total()
+ * adds it to the pure loop's module counter. */
+static long long g_dispatched_total = 0;
+
+/* interned attribute / method names */
+static PyObject *s_cancelled, *s_fired, *s_callback, *s_args;
+static PyObject *s_as_cycles, *s_on_event, *s_deadline_word;
+static PyObject *s_bank_id, *s_row_id, *s_open_page, *s_open_row;
+static PyObject *s_prep_hit, *s_prep_miss;
+
+/* ------------------------------------------------------------------ */
+/* small helpers                                                      */
+/* ------------------------------------------------------------------ */
+
+static int
+ll_from(PyObject *obj, long long *out)
+{
+    long long value = PyLong_AsLongLong(obj);
+    if (value == -1 && PyErr_Occurred())
+        return -1;
+    *out = value;
+    return 0;
+}
+
+/* callback(*args): args is a tuple on every engine-built entry; fall
+ * back to sequence conversion for hand-built entries, mirroring the
+ * pure loop's *-unpacking semantics. */
+static int
+call_callback(PyObject *callback, PyObject *args)
+{
+    PyObject *result;
+    if (PyTuple_Check(args)) {
+        result = PyObject_CallObject(callback, args);
+    }
+    else {
+        PyObject *packed = PySequence_Tuple(args);
+        if (packed == NULL)
+            return -1;
+        result = PyObject_CallObject(callback, packed);
+        Py_DECREF(packed);
+    }
+    if (result == NULL)
+        return -1;
+    Py_DECREF(result);
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* heapq replica (push/pop on a plain PyList of (when, seq, entry))   */
+/* ------------------------------------------------------------------ */
+
+static int
+heap_lt(PyObject *a, PyObject *b)
+{
+    /* Exactly heapq's `a < b`; (when, seq) is unique so the compare
+     * never falls through to the entry. */
+    return PyObject_RichCompareBool(a, b, Py_LT);
+}
+
+static int
+heap_siftdown(PyObject *heap, Py_ssize_t startpos, Py_ssize_t pos)
+{
+    PyObject *newitem = PyList_GET_ITEM(heap, pos);
+    Py_INCREF(newitem);
+    while (pos > startpos) {
+        Py_ssize_t parentpos = (pos - 1) >> 1;
+        PyObject *parent = PyList_GET_ITEM(heap, parentpos);
+        int lt = heap_lt(newitem, parent);
+        if (lt < 0) {
+            Py_DECREF(newitem);
+            return -1;
+        }
+        if (!lt)
+            break;
+        Py_INCREF(parent);
+        PyList_SetItem(heap, pos, parent);
+        pos = parentpos;
+    }
+    PyList_SetItem(heap, pos, newitem);
+    return 0;
+}
+
+static int
+heap_siftup(PyObject *heap, Py_ssize_t pos)
+{
+    Py_ssize_t endpos = PyList_GET_SIZE(heap);
+    Py_ssize_t startpos = pos;
+    PyObject *newitem = PyList_GET_ITEM(heap, pos);
+    Py_INCREF(newitem);
+    Py_ssize_t childpos = 2 * pos + 1;
+    while (childpos < endpos) {
+        Py_ssize_t rightpos = childpos + 1;
+        if (rightpos < endpos) {
+            int lt = heap_lt(PyList_GET_ITEM(heap, childpos),
+                             PyList_GET_ITEM(heap, rightpos));
+            if (lt < 0) {
+                Py_DECREF(newitem);
+                return -1;
+            }
+            if (!lt)
+                childpos = rightpos;
+        }
+        PyObject *child = PyList_GET_ITEM(heap, childpos);
+        Py_INCREF(child);
+        PyList_SetItem(heap, pos, child);
+        pos = childpos;
+        childpos = 2 * pos + 1;
+    }
+    PyList_SetItem(heap, pos, newitem);
+    return heap_siftdown(heap, startpos, pos);
+}
+
+static int
+heap_push(PyObject *heap, PyObject *item)
+{
+    if (PyList_Append(heap, item) < 0)
+        return -1;
+    return heap_siftdown(heap, 0, PyList_GET_SIZE(heap) - 1);
+}
+
+/* Returns a new reference, or NULL on error. */
+static PyObject *
+heap_pop(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    if (n == 0) {
+        PyErr_SetString(PyExc_IndexError, "index out of range");
+        return NULL;
+    }
+    PyObject *lastelt = PyList_GET_ITEM(heap, n - 1);
+    Py_INCREF(lastelt);
+    if (PyList_SetSlice(heap, n - 1, n, NULL) < 0) {
+        Py_DECREF(lastelt);
+        return NULL;
+    }
+    if (PyList_GET_SIZE(heap)) {
+        PyObject *returnitem = PyList_GET_ITEM(heap, 0);
+        Py_INCREF(returnitem);
+        PyList_SetItem(heap, 0, lastelt);
+        if (heap_siftup(heap, 0) < 0) {
+            Py_DECREF(returnitem);
+            return NULL;
+        }
+        return returnitem;
+    }
+    return lastelt;
+}
+
+/* when of overflow[0]; -1 on error, 0 with *has=0 when empty. */
+static int
+overflow_head(PyObject *overflow, long long *when, int *has)
+{
+    if (PyList_GET_SIZE(overflow) == 0) {
+        *has = 0;
+        return 0;
+    }
+    PyObject *head = PyList_GET_ITEM(overflow, 0);
+    if (!PyTuple_Check(head) || PyTuple_GET_SIZE(head) < 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "overflow heap entry is not a (when, seq, entry) tuple");
+        return -1;
+    }
+    if (ll_from(PyTuple_GET_ITEM(head, 0), when) < 0)
+        return -1;
+    *has = 1;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* WheelCore type                                                     */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    long long now;
+    long long seq;
+    long long wheel_pos;
+    long long horizon;
+    long long wheel_count;
+    long long live;
+    long long dispatched;
+    PyObject *wheel;       /* list of WHEEL_SIZE per-cycle FIFO lists   */
+    PyObject *wheel_late;  /* second bucket array for the late phase    */
+    PyObject *overflow;    /* heap list of (when, seq, entry)           */
+    PyObject *sanitizer;   /* None or SimSanitizer                      */
+    PyObject *tracer;      /* None or RequestTracer                     */
+} WheelCore;
+
+static int
+check_state(WheelCore *self)
+{
+    if (self->wheel == NULL || !PyList_Check(self->wheel) ||
+        self->wheel_late == NULL || !PyList_Check(self->wheel_late) ||
+        self->overflow == NULL || !PyList_Check(self->overflow)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "WheelCore state is uninitialized (wheel arrays "
+                        "must be lists; did __init__ run?)");
+        return -1;
+    }
+    if (PyList_GET_SIZE(self->wheel) != WHEEL_SIZE ||
+        PyList_GET_SIZE(self->wheel_late) != WHEEL_SIZE) {
+        PyErr_SetString(PyExc_TypeError,
+                        "WheelCore bucket arrays must hold exactly "
+                        "4096 buckets");
+        return -1;
+    }
+    return 0;
+}
+
+/* self._refill(), C side: move overflow entries now inside the window. */
+static int
+core_refill(WheelCore *self)
+{
+    long long moved = 0;
+    for (;;) {
+        long long when;
+        int has;
+        if (overflow_head(self->overflow, &when, &has) < 0)
+            return -1;
+        if (!has || when >= self->horizon)
+            break;
+        PyObject *item = heap_pop(self->overflow);
+        if (item == NULL)
+            return -1;
+        PyObject *bucket =
+            PyList_GET_ITEM(self->wheel, (Py_ssize_t)(when & WHEEL_MASK));
+        if (!PyList_Check(bucket)) {
+            Py_DECREF(item);
+            PyErr_SetString(PyExc_TypeError, "wheel bucket is not a list");
+            return -1;
+        }
+        int rc = PyList_Append(bucket, PyTuple_GET_ITEM(item, 2));
+        Py_DECREF(item);
+        if (rc < 0)
+            return -1;
+        moved++;
+    }
+    self->wheel_count += moved;
+    return 0;
+}
+
+/* Insert a fused chain's continuation: mirror of the pure loops' inline
+ * block.  `horizon` is the caller's view (local variable in run_until,
+ * self->horizon in run), matching the pure code exactly. */
+static int
+chain_continue(WheelCore *self, PyObject *entry, long long pos,
+               long long horizon)
+{
+    long long link_delay;
+    if (ll_from(PyList_GET_ITEM(entry, 2), &link_delay) < 0)
+        return -1;
+    long long when2 = pos + link_delay;
+    self->live += 1;
+    PyObject *cont = PyTuple_Pack(2, PyList_GET_ITEM(entry, 3),
+                                  PyList_GET_ITEM(entry, 4));
+    if (cont == NULL)
+        return -1;
+    if (when2 < horizon) {
+        PyObject *bucket =
+            PyList_GET_ITEM(self->wheel, (Py_ssize_t)(when2 & WHEEL_MASK));
+        int rc = PyList_Append(bucket, cont);
+        Py_DECREF(cont);
+        if (rc < 0)
+            return -1;
+        self->wheel_count += 1;
+        return 0;
+    }
+    long long seq = self->seq;
+    self->seq = seq + 1;
+    PyObject *when_obj = PyLong_FromLongLong(when2);
+    PyObject *seq_obj = PyLong_FromLongLong(seq);
+    PyObject *item = NULL;
+    if (when_obj != NULL && seq_obj != NULL)
+        item = PyTuple_Pack(3, when_obj, seq_obj, cont);
+    Py_XDECREF(when_obj);
+    Py_XDECREF(seq_obj);
+    Py_DECREF(cont);
+    if (item == NULL)
+        return -1;
+    int rc = heap_push(self->overflow, item);
+    Py_DECREF(item);
+    return rc;
+}
+
+/* Dispatch one Event-shaped entry.  Returns 1 if it fired, 0 if it was
+ * cancelled (skipped), -1 on error. */
+static int
+dispatch_event(PyObject *entry)
+{
+    PyObject *flag = PyObject_GetAttr(entry, s_cancelled);
+    if (flag == NULL)
+        return -1;
+    int cancelled = PyObject_IsTrue(flag);
+    Py_DECREF(flag);
+    if (cancelled < 0)
+        return -1;
+    if (cancelled)
+        return 0;
+    if (PyObject_SetAttr(entry, s_fired, Py_True) < 0)
+        return -1;
+    PyObject *callback = PyObject_GetAttr(entry, s_callback);
+    if (callback == NULL)
+        return -1;
+    PyObject *args = PyObject_GetAttr(entry, s_args);
+    if (args == NULL) {
+        Py_DECREF(callback);
+        return -1;
+    }
+    int rc = call_callback(callback, args);
+    Py_DECREF(callback);
+    Py_DECREF(args);
+    return rc < 0 ? -1 : 1;
+}
+
+static int
+sanitizer_on_event(PyObject *sanitizer, long long when, long long prev)
+{
+    PyObject *when_obj = PyLong_FromLongLong(when);
+    if (when_obj == NULL)
+        return -1;
+    PyObject *prev_obj = PyLong_FromLongLong(prev);
+    if (prev_obj == NULL) {
+        Py_DECREF(when_obj);
+        return -1;
+    }
+    PyObject *result = PyObject_CallMethodObjArgs(
+        sanitizer, s_on_event, when_obj, prev_obj, NULL);
+    Py_DECREF(when_obj);
+    Py_DECREF(prev_obj);
+    if (result == NULL)
+        return -1;
+    Py_DECREF(result);
+    return 0;
+}
+
+/* Dispatch every entry of one bucket list for cycle `pos`, picking up
+ * same-cycle appends (list-iterator semantics: the size is re-read every
+ * step).  Mirrors one `for entry in bucket:` loop of run_until.
+ *
+ * On success *dispatched_out has been advanced exactly as the pure loop
+ * advances its local `dispatched`; *prev_io carries the sanitizer's
+ * previous-dispatch clock across buckets.  Returns -1 on error. */
+static int
+dispatch_bucket(WheelCore *self, PyObject *bucket, long long pos,
+                long long horizon, PyObject *sanitizer,
+                long long *dispatched_out, long long *prev_io)
+{
+    long long skipped = 0;
+    long long count = 0;
+    Py_ssize_t index = 0;
+    while (index < PyList_GET_SIZE(bucket)) {
+        PyObject *entry = PyList_GET_ITEM(bucket, index);
+        Py_INCREF(entry);
+        index++;
+        if (PyTuple_CheckExact(entry)) {
+            if (sanitizer != NULL) {
+                if (sanitizer_on_event(sanitizer, pos, *prev_io) < 0)
+                    goto fail;
+                *prev_io = pos;
+            }
+            if (call_callback(PyTuple_GET_ITEM(entry, 0),
+                              PyTuple_GET_ITEM(entry, 1)) < 0)
+                goto fail;
+            count++;
+        }
+        else if (PyList_CheckExact(entry)) {
+            if (sanitizer != NULL) {
+                if (sanitizer_on_event(sanitizer, pos, *prev_io) < 0)
+                    goto fail;
+                *prev_io = pos;
+            }
+            if (call_callback(PyList_GET_ITEM(entry, 0),
+                              PyList_GET_ITEM(entry, 1)) < 0)
+                goto fail;
+            if (chain_continue(self, entry, pos, horizon) < 0)
+                goto fail;
+            count++;
+        }
+        else {
+            if (sanitizer != NULL) {
+                /* sanitized loop checks `cancelled` before on_event */
+                PyObject *flag = PyObject_GetAttr(entry, s_cancelled);
+                if (flag == NULL)
+                    goto fail;
+                int cancelled = PyObject_IsTrue(flag);
+                Py_DECREF(flag);
+                if (cancelled < 0)
+                    goto fail;
+                if (cancelled) {
+                    Py_DECREF(entry);
+                    continue;
+                }
+                if (sanitizer_on_event(sanitizer, pos, *prev_io) < 0)
+                    goto fail;
+                *prev_io = pos;
+            }
+            int fired = dispatch_event(entry);
+            if (fired < 0)
+                goto fail;
+            if (fired)
+                count++;
+            else
+                skipped++;
+        }
+        Py_DECREF(entry);
+    }
+    /* settle per bucket, matching `dispatched += len(bucket) - skipped`
+     * (the final length covers same-cycle appends; every appended entry
+     * was also dispatched by the loop above) */
+    if (sanitizer == NULL)
+        *dispatched_out += PyList_GET_SIZE(bucket) - skipped;
+    else
+        *dispatched_out += count;
+    return 0;
+fail:
+    /* the pure loop's per-entry `dispatched += 1` settlement is what the
+     * finally block sees on an exception: entries fully dispatched before
+     * the failing one still count */
+    *dispatched_out += count;
+    return -1;
+}
+
+static PyObject *
+WheelCore_run_until(WheelCore *self, PyObject *arg)
+{
+    long long deadline;
+    if (PyLong_CheckExact(arg)) {
+        if (ll_from(arg, &deadline) < 0)
+            return NULL;
+    }
+    else {
+        PyObject *coerced = PyObject_CallMethodObjArgs(
+            (PyObject *)self, s_as_cycles, arg, s_deadline_word, NULL);
+        if (coerced == NULL)
+            return NULL;
+        int rc = ll_from(coerced, &deadline);
+        Py_DECREF(coerced);
+        if (rc < 0)
+            return NULL;
+    }
+    if (check_state(self) < 0)
+        return NULL;
+
+    PyObject *wheel = self->wheel;
+    PyObject *late_wheel = self->wheel_late;
+    PyObject *overflow = self->overflow;
+    PyObject *sanitizer =
+        (self->sanitizer == NULL || self->sanitizer == Py_None)
+            ? NULL
+            : self->sanitizer;
+    /* The pure loop binds these as locals for the whole call; keep them
+     * alive across callbacks the same way. */
+    Py_INCREF(wheel);
+    Py_INCREF(late_wheel);
+    Py_INCREF(overflow);
+    Py_XINCREF(sanitizer);
+
+    long long dispatched = 0;
+    long long pos = self->wheel_pos;
+    int failed = 0;
+
+    if (core_refill(self) < 0) {
+        failed = 1;
+        goto settle;
+    }
+    long long next_refill = NEVER_LL;
+    {
+        long long head;
+        int has;
+        if (overflow_head(overflow, &head, &has) < 0) {
+            failed = 1;
+            goto settle;
+        }
+        next_refill = has ? head - WHEEL_SIZE + 1 : NEVER_LL;
+    }
+
+    while (pos <= deadline) {
+        Py_ssize_t slot = (Py_ssize_t)(pos & WHEEL_MASK);
+        PyObject *bucket = PyList_GET_ITEM(wheel, slot);
+        if (PyList_GET_SIZE(bucket) == 0 &&
+            PyList_GET_SIZE(PyList_GET_ITEM(late_wheel, slot)) == 0) {
+            if (self->wheel_count) {
+                pos += 1;
+                if (pos >= next_refill) {
+                    self->wheel_pos = pos;
+                    self->horizon = pos + WHEEL_SIZE;
+                    if (core_refill(self) < 0) {
+                        failed = 1;
+                        goto settle;
+                    }
+                    long long head;
+                    int has;
+                    if (overflow_head(overflow, &head, &has) < 0) {
+                        failed = 1;
+                        goto settle;
+                    }
+                    next_refill = has ? head - WHEEL_SIZE + 1 : NEVER_LL;
+                }
+                continue;
+            }
+            long long head;
+            int has;
+            if (overflow_head(overflow, &head, &has) < 0) {
+                failed = 1;
+                goto settle;
+            }
+            if (!has || head > deadline)
+                break;
+            /* wheel empty: jump straight to the overflow head */
+            pos = head;
+            self->wheel_pos = pos;
+            self->horizon = pos + WHEEL_SIZE;
+            if (core_refill(self) < 0) {
+                failed = 1;
+                goto settle;
+            }
+            if (overflow_head(overflow, &head, &has) < 0) {
+                failed = 1;
+                goto settle;
+            }
+            next_refill = has ? head - WHEEL_SIZE + 1 : NEVER_LL;
+            continue;
+        }
+        /* ---- dispatch every entry at cycle `pos` ---- */
+        self->wheel_pos = pos;
+        long long horizon = pos + WHEEL_SIZE;
+        self->horizon = horizon;
+        long long prev = self->now;
+        self->now = pos;
+        if (dispatch_bucket(self, bucket, pos, horizon, sanitizer,
+                            &dispatched, &prev) < 0) {
+            failed = 1;
+            goto settle;
+        }
+        self->wheel_count -= PyList_GET_SIZE(bucket);
+        if (PyList_SetSlice(bucket, 0, PyList_GET_SIZE(bucket), NULL) < 0) {
+            failed = 1;
+            goto settle;
+        }
+        PyObject *late = PyList_GET_ITEM(late_wheel, slot);
+        if (PyList_GET_SIZE(late) != 0) {
+            /* ---- late phase: slot-swap so zero-delay posts made by
+             * late callbacks land in the list being iterated ---- */
+            Py_INCREF(late);   /* working reference */
+            Py_INCREF(bucket); /* keep alive across the swap */
+            Py_INCREF(late);
+            PyList_SetItem(wheel, slot, late); /* steals; drops bucket */
+            if (dispatch_bucket(self, late, pos, horizon, sanitizer,
+                                &dispatched, &prev) < 0) {
+                /* mirror pure control flow: the finally block does not
+                 * restore the swapped slot on an exception */
+                Py_DECREF(late);
+                Py_DECREF(bucket);
+                failed = 1;
+                goto settle;
+            }
+            self->wheel_count -= PyList_GET_SIZE(late);
+            if (PyList_SetSlice(late, 0, PyList_GET_SIZE(late), NULL) < 0) {
+                Py_DECREF(late);
+                Py_DECREF(bucket);
+                failed = 1;
+                goto settle;
+            }
+            PyList_SetItem(wheel, slot, bucket); /* steals; drops late */
+            Py_DECREF(late);
+        }
+        pos += 1;
+        /* callbacks may have pushed new far-future work */
+        long long head;
+        int has;
+        if (overflow_head(overflow, &head, &has) < 0) {
+            failed = 1;
+            goto settle;
+        }
+        next_refill = has ? head - WHEEL_SIZE + 1 : NEVER_LL;
+        if (pos >= next_refill) {
+            self->wheel_pos = pos;
+            self->horizon = pos + WHEEL_SIZE;
+            if (core_refill(self) < 0) {
+                failed = 1;
+                goto settle;
+            }
+            if (overflow_head(overflow, &head, &has) < 0) {
+                failed = 1;
+                goto settle;
+            }
+            next_refill = has ? head - WHEEL_SIZE + 1 : NEVER_LL;
+        }
+    }
+
+settle:
+    /* the pure loop's finally block */
+    self->live -= dispatched;
+    self->dispatched += dispatched;
+    g_dispatched_total += dispatched;
+    Py_DECREF(wheel);
+    Py_DECREF(late_wheel);
+    Py_DECREF(overflow);
+    Py_XDECREF(sanitizer);
+    if (failed)
+        return NULL;
+    if (self->now < deadline)
+        self->now = deadline;
+    if (self->wheel_pos < deadline) {
+        self->wheel_pos = deadline;
+        self->horizon = deadline + WHEEL_SIZE;
+    }
+    Py_RETURN_NONE;
+}
+
+/* One index-based bucket walk of run(): mirrors the pure `while index <
+ * len(bucket)` loop including the max_events guard.  Returns 0 on
+ * success, 1 if the guard tripped (error already set), -1 on error.
+ * *index_out is the pure loop's `index` at exit (for the `del
+ * bucket[:index]` / wheel_count settlement the caller performs). */
+static int
+run_bucket(WheelCore *self, PyObject *bucket, long long pos,
+           int has_max, long long max_events, PyObject *sanitizer,
+           long long *dispatched_io, Py_ssize_t *index_out)
+{
+    Py_ssize_t index = 0;
+    while (index < PyList_GET_SIZE(bucket)) {
+        PyObject *entry = PyList_GET_ITEM(bucket, index);
+        Py_INCREF(entry);
+        int is_tuple = PyTuple_CheckExact(entry);
+        int is_list = PyList_CheckExact(entry);
+        int is_event = !is_tuple && !is_list;
+        if (is_event) {
+            PyObject *flag = PyObject_GetAttr(entry, s_cancelled);
+            if (flag == NULL)
+                goto fail;
+            int cancelled = PyObject_IsTrue(flag);
+            Py_DECREF(flag);
+            if (cancelled < 0)
+                goto fail;
+            if (cancelled) {
+                Py_DECREF(entry);
+                index++;
+                continue;
+            }
+        }
+        if (has_max && *dispatched_io >= max_events) {
+            /* del bucket[:index]; wheel_count -= index; clock at pos */
+            if (PyList_SetSlice(bucket, 0, index, NULL) < 0)
+                goto fail;
+            self->wheel_count -= index;
+            self->now = pos;
+            PyErr_Format(g_sim_error ? g_sim_error : PyExc_RuntimeError,
+                         "exceeded max_events=%lld", max_events);
+            Py_DECREF(entry);
+            *index_out = index;
+            return 1;
+        }
+        if (sanitizer != NULL) {
+            if (sanitizer_on_event(sanitizer, pos, self->now) < 0)
+                goto fail;
+        }
+        self->now = pos;
+        if (is_event) {
+            if (PyObject_SetAttr(entry, s_fired, Py_True) < 0)
+                goto fail;
+            PyObject *callback = PyObject_GetAttr(entry, s_callback);
+            if (callback == NULL)
+                goto fail;
+            PyObject *cb_args = PyObject_GetAttr(entry, s_args);
+            if (cb_args == NULL) {
+                Py_DECREF(callback);
+                goto fail;
+            }
+            int rc = call_callback(callback, cb_args);
+            Py_DECREF(callback);
+            Py_DECREF(cb_args);
+            if (rc < 0)
+                goto fail;
+        }
+        else {
+            if (call_callback(
+                    is_tuple ? PyTuple_GET_ITEM(entry, 0)
+                             : PyList_GET_ITEM(entry, 0),
+                    is_tuple ? PyTuple_GET_ITEM(entry, 1)
+                             : PyList_GET_ITEM(entry, 1)) < 0)
+                goto fail;
+            if (is_list) {
+                if (chain_continue(self, entry, pos, self->horizon) < 0)
+                    goto fail;
+            }
+        }
+        *dispatched_io += 1;
+        index++;
+        Py_DECREF(entry);
+        continue;
+    fail:
+        Py_DECREF(entry);
+        *index_out = index;
+        return -1;
+    }
+    *index_out = index;
+    return 0;
+}
+
+static PyObject *
+WheelCore_run(WheelCore *self, PyObject *args, PyObject *kwargs)
+{
+    static char *keywords[] = {"max_events", NULL};
+    PyObject *max_obj = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwargs, "|O", keywords, &max_obj))
+        return NULL;
+    int has_max = max_obj != Py_None;
+    long long max_events = 0;
+    if (has_max && ll_from(max_obj, &max_events) < 0)
+        return NULL;
+    if (check_state(self) < 0)
+        return NULL;
+
+    PyObject *wheel = self->wheel;
+    PyObject *late_wheel = self->wheel_late;
+    PyObject *overflow = self->overflow;
+    PyObject *sanitizer =
+        (self->sanitizer == NULL || self->sanitizer == Py_None)
+            ? NULL
+            : self->sanitizer;
+    Py_INCREF(wheel);
+    Py_INCREF(late_wheel);
+    Py_INCREF(overflow);
+    Py_XINCREF(sanitizer);
+
+    long long dispatched = 0;
+    long long pos = self->wheel_pos;
+    int failed = 0;
+
+    if (core_refill(self) < 0) {
+        failed = 1;
+        goto settle;
+    }
+    for (;;) {
+        if (self->wheel_count == 0) {
+            long long head;
+            int has;
+            if (overflow_head(overflow, &head, &has) < 0) {
+                failed = 1;
+                goto settle;
+            }
+            if (!has)
+                break;
+            pos = head;
+            self->wheel_pos = pos;
+            self->horizon = pos + WHEEL_SIZE;
+            if (core_refill(self) < 0) {
+                failed = 1;
+                goto settle;
+            }
+            continue;
+        }
+        Py_ssize_t slot = (Py_ssize_t)(pos & WHEEL_MASK);
+        PyObject *bucket = PyList_GET_ITEM(wheel, slot);
+        if (PyList_GET_SIZE(bucket) == 0 &&
+            PyList_GET_SIZE(PyList_GET_ITEM(late_wheel, slot)) == 0) {
+            pos += 1;
+            long long head;
+            int has;
+            if (overflow_head(overflow, &head, &has) < 0) {
+                failed = 1;
+                goto settle;
+            }
+            if (has && head - WHEEL_SIZE + 1 <= pos) {
+                self->wheel_pos = pos;
+                self->horizon = pos + WHEEL_SIZE;
+                if (core_refill(self) < 0) {
+                    failed = 1;
+                    goto settle;
+                }
+            }
+            continue;
+        }
+        self->wheel_pos = pos;
+        self->horizon = pos + WHEEL_SIZE;
+        Py_ssize_t index = 0;
+        int rc = run_bucket(self, bucket, pos, has_max, max_events,
+                            sanitizer, &dispatched, &index);
+        if (rc != 0) {
+            failed = 1;
+            goto settle;
+        }
+        self->wheel_count -= index;
+        if (PyList_SetSlice(bucket, 0, PyList_GET_SIZE(bucket), NULL) < 0) {
+            failed = 1;
+            goto settle;
+        }
+        PyObject *late = PyList_GET_ITEM(late_wheel, slot);
+        if (PyList_GET_SIZE(late) != 0) {
+            /* late phase: same slot-swap as run_until */
+            Py_INCREF(late);
+            Py_INCREF(bucket);
+            Py_INCREF(late);
+            PyList_SetItem(wheel, slot, late);
+            rc = run_bucket(self, late, pos, has_max, max_events,
+                            sanitizer, &dispatched, &index);
+            if (rc != 0) {
+                if (rc == 1) {
+                    /* guard trip restores the ordinary slot (pure code
+                     * reassigns wheel[pos & mask] = bucket before raising) */
+                    PyList_SetItem(wheel, slot, bucket); /* steals */
+                    Py_DECREF(late);
+                }
+                else {
+                    Py_DECREF(late);
+                    Py_DECREF(bucket);
+                }
+                failed = 1;
+                goto settle;
+            }
+            self->wheel_count -= index;
+            if (PyList_SetSlice(late, 0, PyList_GET_SIZE(late), NULL) < 0) {
+                Py_DECREF(late);
+                Py_DECREF(bucket);
+                failed = 1;
+                goto settle;
+            }
+            PyList_SetItem(wheel, slot, bucket); /* steals; drops late */
+            Py_DECREF(late);
+        }
+        pos += 1;
+    }
+
+settle:
+    self->live -= dispatched;
+    self->dispatched += dispatched;
+    g_dispatched_total += dispatched;
+    Py_DECREF(wheel);
+    Py_DECREF(late_wheel);
+    Py_DECREF(overflow);
+    Py_XDECREF(sanitizer);
+    if (failed)
+        return NULL;
+    return PyLong_FromLongLong(dispatched);
+}
+
+static PyMemberDef WheelCore_members[] = {
+    {"_now", T_LONGLONG, offsetof(WheelCore, now), 0,
+     "current simulation cycle"},
+    {"_seq", T_LONGLONG, offsetof(WheelCore, seq), 0,
+     "global insertion sequence counter"},
+    {"_wheel_pos", T_LONGLONG, offsetof(WheelCore, wheel_pos), 0,
+     "window start cycle"},
+    {"_horizon", T_LONGLONG, offsetof(WheelCore, horizon), 0,
+     "window end cycle (wheel_pos + 4096)"},
+    {"_wheel_count", T_LONGLONG, offsetof(WheelCore, wheel_count), 0,
+     "entries sitting in wheel buckets (both phases)"},
+    {"_live", T_LONGLONG, offsetof(WheelCore, live), 0,
+     "queued entries that will actually fire"},
+    {"dispatched", T_LONGLONG, offsetof(WheelCore, dispatched), 0,
+     "events dispatched by this engine"},
+    {"_wheel", T_OBJECT, offsetof(WheelCore, wheel), 0,
+     "per-cycle FIFO bucket lists"},
+    {"_wheel_late", T_OBJECT, offsetof(WheelCore, wheel_late), 0,
+     "late-phase bucket lists"},
+    {"_overflow", T_OBJECT, offsetof(WheelCore, overflow), 0,
+     "(when, seq, entry) heap beyond the window"},
+    {"sanitizer", T_OBJECT, offsetof(WheelCore, sanitizer), 0,
+     "opt-in runtime invariant checker"},
+    {"tracer", T_OBJECT, offsetof(WheelCore, tracer), 0,
+     "opt-in request lifecycle recorder"},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyMethodDef WheelCore_methods[] = {
+    {"run_until", (PyCFunction)WheelCore_run_until, METH_O,
+     "Dispatch events with timestamp <= deadline (compiled)."},
+    {"run", (PyCFunction)WheelCore_run, METH_VARARGS | METH_KEYWORDS,
+     "Dispatch events until the queue is empty (compiled)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static int
+WheelCore_traverse(WheelCore *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->wheel);
+    Py_VISIT(self->wheel_late);
+    Py_VISIT(self->overflow);
+    Py_VISIT(self->sanitizer);
+    Py_VISIT(self->tracer);
+    return 0;
+}
+
+static int
+WheelCore_clear(WheelCore *self)
+{
+    Py_CLEAR(self->wheel);
+    Py_CLEAR(self->wheel_late);
+    Py_CLEAR(self->overflow);
+    Py_CLEAR(self->sanitizer);
+    Py_CLEAR(self->tracer);
+    return 0;
+}
+
+static void
+WheelCore_dealloc(WheelCore *self)
+{
+    PyObject_GC_UnTrack(self);
+    WheelCore_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyTypeObject WheelCoreType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "_wheelcore.WheelCore",
+    .tp_basicsize = sizeof(WheelCore),
+    .tp_dealloc = (destructor)WheelCore_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Compiled timing-wheel dispatch core (see repro.accel).",
+    .tp_traverse = (traverseproc)WheelCore_traverse,
+    .tp_clear = (inquiry)WheelCore_clear,
+    .tp_methods = WheelCore_methods,
+    .tp_members = WheelCore_members,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* controller kernels                                                 */
+/* ------------------------------------------------------------------ */
+
+/* Bank.prep_cycles(row), reading the Bank's flattened timing slots. */
+static int
+bank_prep_cycles(PyObject *bank, PyObject *row_obj, long long *out)
+{
+    PyObject *open_page = PyObject_GetAttr(bank, s_open_page);
+    if (open_page == NULL)
+        return -1;
+    int is_open = PyObject_IsTrue(open_page);
+    Py_DECREF(open_page);
+    if (is_open < 0)
+        return -1;
+    PyObject *which = s_prep_miss;
+    if (is_open) {
+        PyObject *open_row = PyObject_GetAttr(bank, s_open_row);
+        if (open_row == NULL)
+            return -1;
+        int hit = PyObject_RichCompareBool(open_row, row_obj, Py_EQ);
+        Py_DECREF(open_row);
+        if (hit < 0)
+            return -1;
+        if (hit)
+            which = s_prep_hit;
+    }
+    PyObject *prep = PyObject_GetAttr(bank, which);
+    if (prep == NULL)
+        return -1;
+    int rc = ll_from(prep, out);
+    Py_DECREF(prep);
+    return rc;
+}
+
+/* ready_scan(queue, busy, banks, uniform_prep, bus_backlog, now)
+ *
+ * Mirror of MemoryController._ready: requests whose bank is free and
+ * whose prep covers the data-bus backlog, in queue order. */
+static PyObject *
+mod_ready_scan(PyObject *module, PyObject *args)
+{
+    PyObject *queue, *busy, *banks, *uniform_prep;
+    long long bus_backlog, now;
+    if (!PyArg_ParseTuple(args, "OOOOLL", &queue, &busy, &banks,
+                          &uniform_prep, &bus_backlog, &now))
+        return NULL;
+    if (!PyList_Check(queue) || !PyList_Check(busy) || !PyList_Check(banks)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "ready_scan expects list queue/busy/banks");
+        return NULL;
+    }
+    PyObject *ready = PyList_New(0);
+    if (ready == NULL)
+        return NULL;
+    int uniform = uniform_prep != Py_None;
+    long long uniform_ll = 0;
+    if (uniform) {
+        if (ll_from(uniform_prep, &uniform_ll) < 0)
+            goto fail;
+        /* closed page: the bus gate blocks the whole queue or none */
+        if (uniform_ll < bus_backlog)
+            return ready;
+    }
+    for (Py_ssize_t i = 0; i < PyList_GET_SIZE(queue); i++) {
+        PyObject *req = PyList_GET_ITEM(queue, i);
+        PyObject *bank_obj = PyObject_GetAttr(req, s_bank_id);
+        if (bank_obj == NULL)
+            goto fail;
+        long long bank_id;
+        int rc = ll_from(bank_obj, &bank_id);
+        Py_DECREF(bank_obj);
+        if (rc < 0)
+            goto fail;
+        if (bank_id < 0 || bank_id >= PyList_GET_SIZE(busy)) {
+            PyErr_Format(PyExc_IndexError,
+                         "request bank_id %lld out of range", bank_id);
+            goto fail;
+        }
+        long long busy_until;
+        if (ll_from(PyList_GET_ITEM(busy, (Py_ssize_t)bank_id),
+                    &busy_until) < 0)
+            goto fail;
+        if (busy_until > now)
+            continue;
+        if (!uniform) {
+            PyObject *row_obj = PyObject_GetAttr(req, s_row_id);
+            if (row_obj == NULL)
+                goto fail;
+            long long prep;
+            rc = bank_prep_cycles(
+                PyList_GET_ITEM(banks, (Py_ssize_t)bank_id), row_obj, &prep);
+            Py_DECREF(row_obj);
+            if (rc < 0)
+                goto fail;
+            if (prep < bus_backlog)
+                continue;
+        }
+        if (PyList_Append(ready, req) < 0)
+            goto fail;
+    }
+    return ready;
+fail:
+    Py_DECREF(ready);
+    return NULL;
+}
+
+/* filter_ready(ready, picked, banks, uniform_prep, bus_backlog)
+ *
+ * Mirror of _issue_ready's incremental post-pick filters: drop the
+ * issued request, everything on its (now busy) bank, and — open page —
+ * everything whose prep no longer covers the tightened bus gate. */
+static PyObject *
+mod_filter_ready(PyObject *module, PyObject *args)
+{
+    PyObject *ready, *picked, *banks, *uniform_prep;
+    long long bus_backlog;
+    if (!PyArg_ParseTuple(args, "OOOOL", &ready, &picked, &banks,
+                          &uniform_prep, &bus_backlog))
+        return NULL;
+    if (!PyList_Check(ready) || !PyList_Check(banks)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "filter_ready expects list ready/banks");
+        return NULL;
+    }
+    PyObject *picked_bank = PyObject_GetAttr(picked, s_bank_id);
+    if (picked_bank == NULL)
+        return NULL;
+    long long bank_id;
+    if (ll_from(picked_bank, &bank_id) < 0) {
+        Py_DECREF(picked_bank);
+        return NULL;
+    }
+    Py_DECREF(picked_bank);
+    int uniform = uniform_prep != Py_None;
+    PyObject *kept = PyList_New(0);
+    if (kept == NULL)
+        return NULL;
+    if (uniform) {
+        long long uniform_ll;
+        if (ll_from(uniform_prep, &uniform_ll) < 0) {
+            Py_DECREF(kept);
+            return NULL;
+        }
+        /* closed page: the tightened bus gate blocks everything or nothing */
+        if (uniform_ll < bus_backlog)
+            return kept;
+    }
+    for (Py_ssize_t i = 0; i < PyList_GET_SIZE(ready); i++) {
+        PyObject *req = PyList_GET_ITEM(ready, i);
+        if (req == picked)
+            continue;
+        PyObject *bank_obj = PyObject_GetAttr(req, s_bank_id);
+        if (bank_obj == NULL)
+            goto fail;
+        long long req_bank;
+        int rc = ll_from(bank_obj, &req_bank);
+        Py_DECREF(bank_obj);
+        if (rc < 0)
+            goto fail;
+        if (req_bank == bank_id)
+            continue;
+        if (!uniform) {
+            if (req_bank < 0 || req_bank >= PyList_GET_SIZE(banks)) {
+                PyErr_Format(PyExc_IndexError,
+                             "request bank_id %lld out of range", req_bank);
+                goto fail;
+            }
+            PyObject *row_obj = PyObject_GetAttr(req, s_row_id);
+            if (row_obj == NULL)
+                goto fail;
+            long long prep;
+            rc = bank_prep_cycles(
+                PyList_GET_ITEM(banks, (Py_ssize_t)req_bank), row_obj, &prep);
+            Py_DECREF(row_obj);
+            if (rc < 0)
+                goto fail;
+            if (prep < bus_backlog)
+                continue;
+        }
+        if (PyList_Append(kept, req) < 0)
+            goto fail;
+    }
+    return kept;
+fail:
+    Py_DECREF(kept);
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+/* module plumbing                                                    */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+mod_dispatched_total(PyObject *module, PyObject *noargs)
+{
+    return PyLong_FromLongLong(g_dispatched_total);
+}
+
+static PyObject *
+mod_install(PyObject *module, PyObject *error_class)
+{
+    Py_INCREF(error_class);
+    Py_XSETREF(g_sim_error, error_class);
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef module_methods[] = {
+    {"ready_scan", mod_ready_scan, METH_VARARGS,
+     "Controller bank-ready/row-hit scan (mirror of _ready)."},
+    {"filter_ready", mod_filter_ready, METH_VARARGS,
+     "Incremental post-pick ready-list filter (mirror of _issue_ready)."},
+    {"dispatched_total", mod_dispatched_total, METH_NOARGS,
+     "Events dispatched by compiled loops in this process."},
+    {"_install", mod_install, METH_O,
+     "Inject SimulationError so compiled loops raise the engine's type."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef wheelcore_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "_wheelcore",
+    .m_doc = "Compiled timing-wheel and controller kernels for repro.",
+    .m_size = -1,
+    .m_methods = module_methods,
+};
+
+static int
+intern_all(void)
+{
+#define INTERN(var, text)                                                 \
+    do {                                                                  \
+        var = PyUnicode_InternFromString(text);                           \
+        if (var == NULL)                                                  \
+            return -1;                                                    \
+    } while (0)
+    INTERN(s_cancelled, "cancelled");
+    INTERN(s_fired, "fired");
+    INTERN(s_callback, "callback");
+    INTERN(s_args, "args");
+    INTERN(s_as_cycles, "_as_cycles");
+    INTERN(s_on_event, "on_event");
+    INTERN(s_deadline_word, "deadline");
+    INTERN(s_bank_id, "bank_id");
+    INTERN(s_row_id, "row_id");
+    INTERN(s_open_page, "open_page");
+    INTERN(s_open_row, "open_row");
+    INTERN(s_prep_hit, "prep_hit");
+    INTERN(s_prep_miss, "prep_miss");
+#undef INTERN
+    return 0;
+}
+
+PyMODINIT_FUNC
+PyInit__wheelcore(void)
+{
+    if (intern_all() < 0)
+        return NULL;
+    if (PyType_Ready(&WheelCoreType) < 0)
+        return NULL;
+    PyObject *module = PyModule_Create(&wheelcore_module);
+    if (module == NULL)
+        return NULL;
+    Py_INCREF(&WheelCoreType);
+    if (PyModule_AddObject(module, "WheelCore",
+                           (PyObject *)&WheelCoreType) < 0) {
+        Py_DECREF(&WheelCoreType);
+        Py_DECREF(module);
+        return NULL;
+    }
+    if (PyModule_AddIntConstant(module, "WHEEL_BITS", WHEEL_BITS) < 0) {
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

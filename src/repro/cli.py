@@ -6,14 +6,18 @@ Usage::
     python -m repro run fig05 [--quick] [--seed N] [--sanitize]
     python -m repro run-all [--quick]
     python -m repro sweep fig07 [--quick] [--workers N] [--no-cache]
-                          [--warm-start]
+                          [--warm-start] [--backend {pure,c,auto}]
     python -m repro checkpoint fig05 [--quick] [--seed N] | --stats | --clear
     python -m repro cache [--stats] [--clear]
     python -m repro trace fig05 [--quick] [--seed N] [--output PATH]
                           [--buffer N] [--metrics PATH] [--sanitize]
+                          [--backend {pure,c,auto}]
     python -m repro bench [figs ...] [--quick] [--check BASELINE]
                           [--repeat N] [--update] [--no-history]
+                          [--backend {pure,c,auto}]
     python -m repro profile fig05 [--quick] [--top N] [--output PATH]
+                          [--backend {pure,c,auto}]
+    python -m repro accel [info|build]
     python -m repro info
     python -m repro lint [paths ...] [--format {text,json,sarif}] [--fix]
                          [--list-rules] [--timings] [--no-cache]
@@ -31,6 +35,11 @@ clears everything under ``.repro-cache/`` (plus any tolerated cache I/O
 warnings counted by :mod:`repro.obs.warnings`).  ``trace`` re-runs one
 experiment with the request tracer attached (:mod:`repro.obs.trace`) and
 writes Chrome trace-event JSON viewable in Perfetto or chrome://tracing.
+``--backend`` selects the engine implementation (:mod:`repro.accel`):
+``pure`` is the always-available reference, ``c`` compiles and loads the
+extension (an error when no toolchain is present), and ``auto`` uses a
+prebuilt extension when one exists and degrades to ``pure`` otherwise;
+``accel`` builds the extension or reports its status.
 
 Each experiment prints the same report table/series its benchmark asserts
 against; see EXPERIMENTS.md for the paper-vs-measured record.
@@ -128,6 +137,21 @@ def _checkpoint_dir(cache_dir: str) -> str:
     return str(Path(cache_dir) / "checkpoints")
 
 
+def _resolve_backend(name: str) -> str | None:
+    """Resolve ``--backend`` at the CLI boundary; None (+stderr) on failure.
+
+    Specs carry the *resolved* name, so cache entries and bench records
+    never say "auto" — they say which backend actually ran.
+    """
+    from repro import accel
+
+    try:
+        return accel.resolve_backend(name)
+    except accel.AccelUnavailable as exc:
+        print(f"--backend={name} unavailable: {exc}", file=sys.stderr)
+        return None
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.runner import ResultCache, run_specs, specs_for_figure
 
@@ -140,8 +164,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("--shards and --warm-start are incompatible: a checkpoint "
               "captures one engine, not a shard ensemble", file=sys.stderr)
         return 2
+    backend = _resolve_backend(args.backend)
+    if backend is None:
+        return 2
     specs = specs_for_figure(
-        args.experiment, quick=args.quick, seed=args.seed, shards=args.shards
+        args.experiment, quick=args.quick, seed=args.seed, shards=args.shards,
+        backend=backend,
     )
     cache = ResultCache(args.cache_dir)
     started = time.perf_counter()
@@ -173,7 +201,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     hits = sum(1 for o in outcomes if o.cached)
     print()
     print(f"[{len(outcomes)} cell(s), {hits} cached, {failures} failed, "
-          f"{elapsed:.1f}s, workers={args.workers}]")
+          f"{elapsed:.1f}s, workers={args.workers}, backend={backend}]")
     return 1 if failures else 0
 
 
@@ -251,9 +279,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.experiment!r}; known: {known}",
               file=sys.stderr)
         return 2
+    from repro import accel
+
+    backend = _resolve_backend(args.backend)
+    if backend is None:
+        return 2
     runner, description = EXPERIMENTS[args.experiment]
     mode = "quick" if args.quick else "full"
-    print(f"== {args.experiment} ({mode}, traced): {description}")
+    print(f"== {args.experiment} ({mode}, traced, backend={backend}): "
+          f"{description}")
     tracer = RequestTracer(capacity=args.buffer)
     sinks = []
     metrics_sink = None
@@ -262,7 +296,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         sinks.append(metrics_sink)
     started = time.perf_counter()
     try:
-        with sanitized(args.sanitize), traced(tracer, sinks):
+        with accel.backend(backend), sanitized(args.sanitize), \
+                traced(tracer, sinks):
             result = runner(quick=args.quick, seed=args.seed)
     finally:
         if metrics_sink is not None:
@@ -307,10 +342,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"unknown experiment(s) {unknown}; known: {known}",
               file=sys.stderr)
         return 2
+    backend = _resolve_backend(args.backend)
+    if backend is None:
+        return 2
     document = run_bench(
         figures, quick=args.quick, seed=args.seed, repeat=args.repeat,
-        shards=args.shards,
+        shards=args.shards, backend=backend,
     )
+    fingerprint = document.get("accel_fingerprint")
+    tag = f", build {fingerprint}" if fingerprint else ""
+    print(f"[backend: {document['backend']}{tag}]")
     failures = 0
     for figure, entry in document["figures"].items():
         if entry.get("ok"):
@@ -328,6 +369,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     failures += 1
                     print(f"{'':<8} sharded x{sharding.get('shards')} FAILED: "
                           f"{sharding.get('error')}")
+            compiled = entry.get("compiled")
+            if compiled is not None:
+                if compiled.get("ok"):
+                    print(f"{'':<8} vs pure: "
+                          f"{compiled['pure_wall_seconds']:.2f}s pure  "
+                          f"({compiled['speedup_vs_pure']:.2f}x compiled, "
+                          f"byte-identical)")
+                else:
+                    failures += 1
+                    print(f"{'':<8} vs pure FAILED: {compiled.get('error')}")
         else:
             print(f"{figure:<8} FAILED: {entry.get('error')}")
 
@@ -379,12 +430,19 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.experiment!r}; known: {known}",
               file=sys.stderr)
         return 2
+    backend = _resolve_backend(args.backend)
+    if backend is None:
+        return 2
     report = run_profile(
-        args.experiment, quick=args.quick, seed=args.seed, top=args.top
+        args.experiment, quick=args.quick, seed=args.seed, top=args.top,
+        backend=backend,
     )
     if not report["ok"]:
         print(f"{args.experiment} FAILED: {report.get('error')}", file=sys.stderr)
         return 1
+    fingerprint = report.get("accel_fingerprint")
+    tag = f", build {fingerprint}" if fingerprint else ""
+    print(f"[backend: {report['backend']}{tag}]")
     print(f"{args.experiment:<8} {report['wall_seconds']:>8.2f}s (profiled)  "
           f"{report['events']:>12,} events  "
           f"{report['events_per_sec']:>12,.0f} events/s")
@@ -410,6 +468,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint.main(args.lint_args or ["src", "tests"])
 
 
+def _cmd_accel(args: argparse.Namespace) -> int:
+    from repro import accel
+    from repro.accel import build as build_mod
+
+    if args.action == "build":
+        try:
+            path = build_mod.build()
+        except accel.AccelUnavailable as exc:
+            print(f"accel build failed: {exc}", file=sys.stderr)
+            return 1
+        print(f"[built {path}]")
+        return 0
+    # info (the default): status without side effects — never compiles
+    path = build_mod.artifact_path()
+    cc = build_mod.compiler()
+    print(f"source:      {build_mod.SOURCE_PATH}")
+    print(f"fingerprint: {build_mod.source_fingerprint()}")
+    print(f"compiler:    {cc if cc else 'none found (tried gcc, cc, clang)'}")
+    print(f"artifact:    {path} "
+          f"({'present' if path.exists() else 'not built'})")
+    print(f"auto resolves to: {accel.resolve_backend('auto')}")
+    return 0
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     from repro import SPEC_PROFILES, SystemConfig, __version__
 
@@ -428,6 +510,16 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     print()
     print("SPEC CPU2006 proxies:", ", ".join(sorted(SPEC_PROFILES)))
     return 0
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=("pure", "c", "auto"), default="pure",
+        help="engine implementation: the pure-Python reference, the "
+             "compiled C extension (built on demand; errors without a "
+             "toolchain), or auto (a prebuilt extension when present, "
+             "else pure)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -480,6 +572,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "synchronized in conservative windows "
                             "(byte-identical reports; incompatible with "
                             "--warm-start)")
+    _add_backend_argument(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     checkpoint = sub.add_parser(
@@ -530,6 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "JSONL file")
     trace.add_argument("--sanitize", action="store_true",
                        help="enable the runtime invariant sanitizer")
+    _add_backend_argument(trace)
     trace.set_defaults(func=_cmd_trace)
 
     bench = sub.add_parser(
@@ -559,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "wall/speedup (byte-checked vs single-process)")
     bench.add_argument("--no-history", action="store_true",
                        help="skip appending this run to BENCH_history.jsonl")
+    _add_backend_argument(bench)
     bench.set_defaults(func=_cmd_bench)
 
     profile = sub.add_parser(
@@ -572,7 +667,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="hotspots to keep, ranked by tottime (default 25)")
     profile.add_argument("--output", default=None,
                          help="write the JSON report here (default: stdout)")
+    _add_backend_argument(profile)
     profile.set_defaults(func=_cmd_profile)
+
+    accel = sub.add_parser(
+        "accel",
+        help="build the compiled backend or report its status",
+    )
+    accel.add_argument("action", nargs="?", choices=("info", "build"),
+                       default="info",
+                       help="info: report toolchain/artifact status "
+                            "(default); build: compile the extension now")
+    accel.set_defaults(func=_cmd_accel)
 
     lint = sub.add_parser(
         "lint",

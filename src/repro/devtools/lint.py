@@ -56,6 +56,12 @@ PERF004   process-parallelism modules (``multiprocessing``,
           orchestration concern; a pool inside simulation code would
           put nondeterministic scheduling next to the event loop the
           whole design keeps bit-deterministic.
+PERF005   native-code loading modules (``ctypes``, ``cffi``,
+          ``importlib.machinery``) may only be imported under
+          ``accel/``.  The compiled backend owns the extension build,
+          the ABI handshake, and the pure-Python fallback; a stray
+          ``.so`` load elsewhere bypasses backend selection and the
+          byte-identity contract the accel package enforces.
 ========  ==============================================================
 
 Beyond the per-file rules above, ``main`` also runs the whole-program
@@ -642,6 +648,62 @@ class ProcessParallelismOnlyInRunner(Rule):
             # `from concurrent import futures` reaches the same pool API
             if any(alias.name == "futures" for alias in node.names):
                 banned = "concurrent.futures"
+        if banned is not None:
+            self._flag(node, banned)
+        self.generic_visit(node)
+
+
+@register
+class NativeCodeOnlyInAccel(Rule):
+    code = "PERF005"
+    summary = (
+        "native-code loading (ctypes/cffi/importlib.machinery) is "
+        "confined to accel/"
+    )
+
+    #: The compiled-backend package: the one place that may compile,
+    #: load, or talk to a native extension.
+    _ALLOWED_DIR = "accel"
+
+    _BANNED = ("ctypes", "cffi", "importlib.machinery")
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        parts = ctx.repro_parts
+        if parts is None:
+            return False
+        return not (len(parts) > 1 and parts[0] == cls._ALLOWED_DIR)
+
+    def _flag(self, node: ast.AST, module: str) -> None:
+        self.report(
+            node,
+            f"{module} import outside accel/; native-code loading is the "
+            "compiled backend's concern — repro.accel owns the build, "
+            "the ABI handshake, and the pure-Python fallback, so a "
+            "stray .so load elsewhere bypasses backend selection and "
+            "the byte-identity contract",
+        )
+
+    def _match(self, name: str) -> str | None:
+        for banned in self._BANNED:
+            if name == banned or name.startswith(banned + "."):
+                return banned
+        return None
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            banned = self._match(alias.name)
+            if banned is not None:
+                self._flag(node, banned)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        banned = self._match(module)
+        if banned is None and module == "importlib":
+            # `from importlib import machinery` reaches the same loaders
+            if any(alias.name == "machinery" for alias in node.names):
+                banned = "importlib.machinery"
         if banned is not None:
             self._flag(node, banned)
         self.generic_visit(node)

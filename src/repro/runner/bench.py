@@ -72,6 +72,7 @@ def run_bench(
     seed: int = 0,
     repeat: int = 3,
     shards: int = 1,
+    backend: str = "pure",
 ) -> dict[str, Any]:
     """Time each figure ``repeat`` times; returns the bench document.
 
@@ -87,6 +88,14 @@ def run_bench(
     overhead makes the "speedup" a slowdown).  The sharded report is
     byte-compared against the single-process one, so a determinism
     break fails the bench instead of flattering it.
+
+    ``backend`` selects the engine implementation the timed runs execute
+    under (:mod:`repro.accel`; already resolved — "pure" or "c", never
+    "auto").  Under ``"c"`` each figure additionally runs once pure and
+    the entry grows a ``"compiled"`` sub-document with the measured
+    speedup vs that pure run and a byte-identity check of the two
+    reports — the bench publishes the determinism contract alongside
+    the number, so a divergent compiled core fails loudly here too.
     """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
@@ -96,7 +105,9 @@ def run_bench(
         entry: dict[str, Any] | None = None
         report: str | None = None
         for _ in range(repeat):
-            outcome = execute_spec(RunSpec(figure=figure, quick=quick, seed=seed))
+            outcome = execute_spec(
+                RunSpec(figure=figure, quick=quick, seed=seed, backend=backend)
+            )
             if not outcome.get("ok"):
                 entry = {"ok": False, "error": outcome.get("error")}
                 break
@@ -110,7 +121,11 @@ def run_bench(
             entry["repeats"] = len(walls)
             if shards > 1:
                 entry["sharding"] = _bench_sharded(
-                    figure, quick, seed, shards, wall, report
+                    figure, quick, seed, shards, wall, report, backend
+                )
+            if backend == "c":
+                entry["compiled"] = _bench_vs_pure(
+                    figure, quick, seed, wall, report
                 )
         results[figure] = entry
     document = {
@@ -119,6 +134,8 @@ def run_bench(
         "quick": quick,
         "seed": seed,
         "repeat": repeat,
+        "backend": backend,
+        "accel_fingerprint": _accel_fingerprint(backend),
         "python": platform.python_version(),
         "python_version": platform.python_version(),
         "platform": platform.platform(),
@@ -130,6 +147,42 @@ def run_bench(
     return document
 
 
+def _accel_fingerprint(backend: str) -> str | None:
+    """Build fingerprint of the compiled extension, None under pure."""
+    if backend != "c":
+        return None
+    from repro import accel
+
+    return accel.build_fingerprint()
+
+
+def _bench_vs_pure(
+    figure: str,
+    quick: bool,
+    seed: int,
+    c_wall: float,
+    c_report: str | None,
+) -> dict[str, Any]:
+    """One pure-backend run of a figure, byte-checked against the C run."""
+    outcome = execute_spec(
+        RunSpec(figure=figure, quick=quick, seed=seed, backend="pure")
+    )
+    if not outcome.get("ok"):
+        return {"ok": False, "error": outcome.get("error")}
+    if c_report is not None and outcome.get("report") != c_report:
+        return {
+            "ok": False,
+            "error": "compiled report diverged from pure-backend run",
+        }
+    pure_wall = outcome["wall_seconds"]
+    return {
+        "ok": True,
+        "pure_wall_seconds": round(pure_wall, 4),
+        "speedup_vs_pure": round(pure_wall / c_wall, 3) if c_wall > 0 else 0.0,
+        "byte_identical": c_report is not None,
+    }
+
+
 def _bench_sharded(
     figure: str,
     quick: bool,
@@ -137,12 +190,14 @@ def _bench_sharded(
     shards: int,
     baseline_wall: float,
     baseline_report: str | None,
+    backend: str = "pure",
 ) -> dict[str, Any]:
     """One sharded run of a figure, byte-checked against the 1-shard report."""
     import os
 
     outcome = execute_spec(
-        RunSpec(figure=figure, quick=quick, seed=seed, shards=shards)
+        RunSpec(figure=figure, quick=quick, seed=seed, shards=shards,
+                backend=backend)
     )
     cpu_count = os.cpu_count()
     if not outcome.get("ok"):
@@ -237,19 +292,24 @@ def run_warm_start_bench(
 
 
 def run_profile(
-    figure: str, quick: bool = True, seed: int = 0, top: int = 25
+    figure: str, quick: bool = True, seed: int = 0, top: int = 25,
+    backend: str = "pure",
 ) -> dict[str, Any]:
     """Run one figure under cProfile; returns a JSON-ready hotspot report.
 
     Hotspots are ranked by ``tottime`` (time in the function itself,
     excluding callees) — the number that tells a perf PR where the
-    cycles actually go.
+    cycles actually go.  Under ``backend="c"`` the wheel loop runs
+    inside the extension, so its cost shows up as one opaque
+    ``run_until``/``run`` builtin frame and the Python hotspots are the
+    component callbacks it dispatches into.
     """
     import cProfile
 
     profiler = cProfile.Profile()
     outcome = profiler.runcall(
-        execute_spec, RunSpec(figure=figure, quick=quick, seed=seed)
+        execute_spec,
+        RunSpec(figure=figure, quick=quick, seed=seed, backend=backend),
     )
     profiler.create_stats()
     hotspots = []
@@ -271,6 +331,8 @@ def run_profile(
         "figure": figure,
         "quick": quick,
         "seed": seed,
+        "backend": backend,
+        "accel_fingerprint": _accel_fingerprint(backend),
         "ok": bool(outcome.get("ok")),
         "python_version": platform.python_version(),
         "platform": platform.platform(),
@@ -321,6 +383,9 @@ def append_history(
             sharding = entry.get("sharding")
             if sharding is not None:
                 figures[figure]["sharding"] = dict(sharding)
+            compiled = entry.get("compiled")
+            if compiled is not None:
+                figures[figure]["compiled"] = dict(compiled)
         else:
             figures[figure] = {"error": entry.get("error")}
     line = {
@@ -329,6 +394,8 @@ def append_history(
         "quick": document.get("quick"),
         "seed": document.get("seed"),
         "repeat": document.get("repeat"),
+        "backend": document.get("backend", "pure"),
+        "accel_fingerprint": document.get("accel_fingerprint"),
         "python_version": document.get("python_version"),
         "figures": figures,
     }

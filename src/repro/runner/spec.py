@@ -51,12 +51,20 @@ class RunSpec:
     #: bug in the shard runner must surface as a diff, never be papered
     #: over by a cache hit recorded under a different shard count.
     shards: int = 1
+    #: Execution backend, already resolved ("pure" or "c" — never
+    #: "auto"; the CLI resolves before building specs).  Backends are
+    #: byte-identical by contract, but the identity still enters the
+    #: content hash for the same reason ``shards`` does: a determinism
+    #: bug in the compiled core must surface as a report diff, never be
+    #: papered over by a cache hit recorded under the other backend.
+    backend: str = "pure"
 
     def canonical_json(self) -> str:
         """Stable JSON encoding used for hashing and cache metadata."""
         from repro.sim.shard import ShardPlan
 
         payload = {
+            "backend": self.backend,
             "figure": self.figure,
             "cell": _canonical(self.cell),
             "seed": self.seed,
@@ -102,6 +110,10 @@ class RunSpec:
             for key, value in self.cell.items()
             if key not in measure_keys
         }
+        # Deliberately backend-free (like shards): checkpoints are
+        # backend-neutral — wheel state marshals losslessly between the
+        # pure and compiled engines — so specs differing only in backend
+        # share one warm-up prefix.
         payload = {
             "figure": self.figure,
             "cell": _canonical(prefix_cell),
@@ -128,6 +140,8 @@ class RunSpec:
             quick=bool(payload.get("quick", True)),
             overrides=dict(payload.get("overrides", {})),
             shards=int(payload.get("shards", 1)),
+            # payloads written before the backend field existed ran pure
+            backend=str(payload.get("backend", "pure")),
         )
 
 
@@ -137,6 +151,7 @@ def specs_for_figure(
     seed: int = 0,
     overrides: Mapping[str, Any] | None = None,
     shards: int = 1,
+    backend: str = "pure",
 ) -> list[RunSpec]:
     """Expand one figure's ``sweep_cells`` grid into :class:`RunSpec` s."""
     from repro.runner.worker import figure_module
@@ -151,6 +166,7 @@ def specs_for_figure(
             quick=quick,
             overrides=dict(overrides or {}),
             shards=shards,
+            backend=backend,
         )
         for cell in cells
     ]

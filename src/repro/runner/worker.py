@@ -65,10 +65,16 @@ def execute_spec(spec: "Any", warm_start_dir: str | None = None) -> dict[str, An
     """Run one :class:`RunSpec` in-process and time it."""
     from contextlib import nullcontext
 
+    from repro import accel
     from repro.experiments.common import config_overrides, sharded, warm_start
     from repro.sim.engine import dispatched_total
 
     shards = getattr(spec, "shards", 1)
+    # Backend selection wraps the whole run (construction included) so
+    # warm-start restores and shard clones re-resolve under it; "pure"
+    # still enters the context to shadow any ambient REPRO_ACCEL=c, since
+    # the spec's resolved backend is part of its content hash.
+    backing = accel.backend(getattr(spec, "backend", "pure"))
     if warm_start_dir is not None:
         if shards > 1:
             from repro.sim.engine import SimulationError
@@ -87,7 +93,7 @@ def execute_spec(spec: "Any", warm_start_dir: str | None = None) -> dict[str, An
     kwargs = _run_kwargs(spec.cell)
     events_before = dispatched_total()
     started = time.perf_counter()
-    with config_overrides(**dict(spec.overrides)), warming, sharding:
+    with backing, config_overrides(**dict(spec.overrides)), warming, sharding:
         result = module.run(quick=spec.quick, seed=spec.seed, **kwargs)
     wall = time.perf_counter() - started
     events = dispatched_total() - events_before

@@ -94,8 +94,17 @@ _dispatched_total = 0
 
 
 def dispatched_total() -> int:
-    """Events dispatched by all engines in this process since import."""
-    return _dispatched_total
+    """Events dispatched by all engines in this process since import.
+
+    Sums this module's counter (pure-Python dispatch loops) and the
+    compiled backend's (:mod:`repro.accel`, when its extension is
+    loaded).  The extension counter is tracked by *loaded*, not active:
+    events dispatched under ``c`` keep counting after a switch back to
+    ``pure``.
+    """
+    from repro import accel
+
+    return _dispatched_total + accel.core_dispatched_total()
 
 
 #: Wheel window width in cycles.  Must be a power of two.  4096 covers
@@ -758,15 +767,53 @@ class TimingWheel:
         return dispatched
 
 
-class Engine(TimingWheel):
-    """Event-driven simulator core with integer cycle time.
+#: Attributes that fully determine an engine's observable state, for the
+#: explicit pickle protocol below.  Explicit rather than ``__dict__``
+#: because the compiled backend (:mod:`repro.accel`) keeps the integer
+#: counters in extension struct fields that never appear in the instance
+#: dict — the same attribute list read via ``getattr`` covers both
+#: backends, and a state dict written under one backend applies cleanly
+#: under the other (every container is a plain Python list on both
+#: sides, including the overflow heap's array layout).
+_ENGINE_STATE = (
+    "_now",
+    "_seq",
+    "_wheel",
+    "_wheel_late",
+    "_wheel_pos",
+    "_horizon",
+    "_wheel_count",
+    "_overflow",
+    "_live",
+    "dispatched",
+    "sanitizer",
+    "tracer",
+    "_seed",
+    "_rng_children",
+    "_epoch_listeners",
+)
 
-    Parameters
-    ----------
-    seed:
-        Master seed.  Component RNGs are derived from it via
-        :meth:`rng` so that adding a new consumer does not perturb the
-        streams of existing ones.
+
+def _rebuild_engine(seed: int) -> "Engine":
+    """Pickle factory: an empty engine of the backend active *now*.
+
+    Deliberately consults :func:`repro.accel.engine_class` at unpickle
+    time rather than recording the saving process's class, so a
+    checkpoint saved under one backend restores under whichever backend
+    the restoring process selected — the state dict is backend-neutral.
+    """
+    from repro import accel
+
+    return accel.engine_class()(seed)
+
+
+class _EngineMixin:
+    """Seeded-RNG and pickling layer shared by both backends' engines.
+
+    ``Engine`` composes it with :class:`TimingWheel`;
+    :mod:`repro.accel.engine` composes the same mixin with the compiled
+    wheel type.  Everything here touches wheel state only through
+    attribute access, which both backends expose identically.
     """
 
     def __init__(self, seed: int = 0) -> None:
@@ -774,6 +821,17 @@ class Engine(TimingWheel):
         self._seed = seed
         self._rng_children: dict[str, np.random.Generator] = {}
         self._epoch_listeners: list[Callable[[int], None]] = []
+
+    # ------------------------------------------------------------------
+    # pickling (checkpoints, shard clones)
+    # ------------------------------------------------------------------
+    def __reduce__(self):
+        state = {name: getattr(self, name) for name in _ENGINE_STATE}
+        return (_rebuild_engine, (self._seed,), state)
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
 
     # ------------------------------------------------------------------
     # randomness
@@ -797,3 +855,15 @@ class Engine(TimingWheel):
             generator = np.random.Generator(np.random.PCG64(child_seed))
             self._rng_children[name] = generator
         return generator
+
+
+class Engine(_EngineMixin, TimingWheel):
+    """Event-driven simulator core with integer cycle time.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Component RNGs are derived from it via
+        :meth:`rng` so that adding a new consumer does not perturb the
+        streams of existing ones.
+    """

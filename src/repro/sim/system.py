@@ -35,7 +35,8 @@ from repro.obs.trace import RequestTracer
 from repro.qos.classes import QoSRegistry
 from repro.qos.monitor import BandwidthMonitor
 from repro.sim.config import SystemConfig
-from repro.sim.engine import _WHEEL_MASK, Engine
+from repro.accel import make_engine
+from repro.sim.engine import _WHEEL_MASK
 from repro.sim.mechanism import QoSMechanism
 from repro.sim.records import AccessType, MemoryRequest
 from repro.sim.sanitizer import SimSanitizer
@@ -72,7 +73,10 @@ class System:
 
         self.config = config
         self.registry = registry
-        self.engine = Engine(seed)
+        # backend factory: the pure Engine or its C-backed twin, per the
+        # process's active repro.accel selection (attribute-compatible,
+        # so the inlined wheel inserts below work against either)
+        self.engine = make_engine(seed)
         if sanitize:
             self.engine.sanitizer = SimSanitizer()
         if tracer is not None:

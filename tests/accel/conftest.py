@@ -1,0 +1,19 @@
+"""Shared fixture: the compiled backend, or a skip when it cannot build.
+
+The accel tests exercise the C extension against the pure reference, so
+they need a working toolchain.  A tree without one (no gcc, no
+Python.h) must still pass tier-1 — that *is* the graceful-degradation
+contract — so the whole directory skips instead of failing.
+"""
+
+import pytest
+
+from repro import accel
+
+
+@pytest.fixture(scope="session")
+def c_backend() -> str:
+    try:
+        return accel.resolve_backend("c")
+    except accel.AccelUnavailable as exc:
+        pytest.skip(f"compiled backend unavailable: {exc}")

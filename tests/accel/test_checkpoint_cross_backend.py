@@ -1,0 +1,53 @@
+"""Checkpoints are backend-neutral: save under one backend, restore
+under the other, byte-identical report either way.
+
+The snapshot pickles the system graph through the engine's explicit
+state tuple, and the engine class is re-resolved at unpickle time from
+the then-active backend — so a warm-up simulated by the compiled core
+forks measurement runs on the pure engine and vice versa.
+"""
+
+from repro.runner.spec import RunSpec
+from repro.runner.worker import execute_spec
+from repro.sim.engine import Engine
+
+
+def _spec(backend: str) -> RunSpec:
+    return RunSpec(figure="fig05", quick=True, seed=0, backend=backend)
+
+
+def test_checkpoint_round_trips_between_backends(c_backend, tmp_path, monkeypatch):
+    import repro.runner.checkpoint as ckpt
+
+    cold = execute_spec(_spec("pure"))
+    assert cold["ok"]
+
+    # first warm run under the compiled backend: simulates the warm-up
+    # on the C engine and saves the snapshot
+    saved = execute_spec(_spec("c"), warm_start_dir=str(tmp_path))
+    assert saved["ok"]
+    assert saved["report"] == cold["report"]
+    assert len(ckpt.CheckpointStore(tmp_path)) == 1
+
+    restored_engines: list[type] = []
+    original_restore = ckpt.restore_system
+
+    def recording_restore(checkpoint):
+        system = original_restore(checkpoint)
+        restored_engines.append(type(system.engine))
+        return system
+
+    monkeypatch.setattr(ckpt, "restore_system", recording_restore)
+
+    # restore the compiled-saved snapshot under pure
+    warm_pure = execute_spec(_spec("pure"), warm_start_dir=str(tmp_path))
+    assert warm_pure["ok"]
+    assert restored_engines == [Engine]
+    assert warm_pure["report"] == cold["report"]
+
+    # and the same snapshot under the compiled backend again
+    restored_engines.clear()
+    warm_c = execute_spec(_spec("c"), warm_start_dir=str(tmp_path))
+    assert warm_c["ok"]
+    assert [cls.__name__ for cls in restored_engines] == ["CEngine"]
+    assert warm_c["report"] == cold["report"]

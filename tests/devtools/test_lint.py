@@ -297,6 +297,40 @@ class TestPerf004ProcessParallelismConfinement:
         ) == []
 
 
+class TestPerf005NativeCodeConfinement:
+    def test_ctypes_import_in_sim_module_fires(self):
+        assert codes("import ctypes\n") == ["PERF005"]
+
+    def test_from_import_fires(self):
+        assert codes("from ctypes import CDLL\n", REPRO_PATH) == ["PERF005"]
+
+    def test_machinery_fires(self):
+        assert codes("import importlib.machinery\n", REPRO_PATH) == ["PERF005"]
+        assert codes(
+            "from importlib.machinery import ExtensionFileLoader\n", REPRO_PATH
+        ) == ["PERF005"]
+        assert codes(
+            "from importlib import machinery\n", REPRO_PATH
+        ) == ["PERF005"]
+
+    def test_plain_importlib_is_fine(self):
+        assert codes("import importlib\n", REPRO_PATH) == []
+        assert codes("from importlib import import_module\n", REPRO_PATH) == []
+
+    def test_accel_modules_are_allowed(self):
+        assert codes("import ctypes\n", "src/repro/accel/build.py") == []
+        assert codes(
+            "from importlib.machinery import ExtensionFileLoader\n",
+            "src/repro/accel/build.py",
+        ) == []
+
+    def test_tests_are_out_of_scope(self):
+        assert codes("import ctypes\n", TEST_PATH) == []
+
+    def test_noqa_suppresses(self):
+        assert codes("import ctypes  # repro: noqa[PERF005]\n") == []
+
+
 class TestNoqaForms:
     def test_bare_noqa_suppresses_everything(self):
         assert codes("seed = hash(when / 2)  # repro: noqa\n") == []
@@ -322,7 +356,7 @@ class TestDriver:
     def test_registry_covers_documented_rules(self):
         assert set(RULES) == {
             "DET001", "DET002", "DET003", "DET004", "DET005", "SIM001",
-            "PERF001", "PERF002", "PERF003", "PERF004",
+            "PERF001", "PERF002", "PERF003", "PERF004", "PERF005",
         }
 
     def test_main_exit_codes(self, tmp_path: Path, capsys):

@@ -90,6 +90,51 @@ class TestRunBench:
         assert entry["events"] > 0
         assert entry["events_per_sec"] > 0
 
+    def test_backend_recorded_in_document_and_history(self, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setattr(
+            bench, "execute_spec",
+            lambda spec: {"ok": True, "wall_seconds": 2.0, "events": 10,
+                          "events_per_sec": 5.0, "report": "R"},
+        )
+        monkeypatch.setattr(bench, "_accel_fingerprint",
+                            lambda backend: "cafe" if backend == "c" else None)
+        document = run_bench(["fig05"], repeat=1, backend="c")
+        assert document["backend"] == "c"
+        assert document["accel_fingerprint"] == "cafe"
+        compiled = document["figures"]["fig05"]["compiled"]
+        # the fake runs both backends at the same wall time and report
+        assert compiled == {"ok": True, "pure_wall_seconds": 2.0,
+                            "speedup_vs_pure": 1.0, "byte_identical": True}
+        path = bench.append_history(document, tmp_path / "history.jsonl")
+        line = json.loads(path.read_text(encoding="utf-8"))
+        assert line["backend"] == "c"
+        assert line["accel_fingerprint"] == "cafe"
+        assert line["figures"]["fig05"]["compiled"] == compiled
+
+    def test_compiled_report_divergence_fails_the_bench(self, monkeypatch):
+        def fake_execute(spec):
+            return {"ok": True, "wall_seconds": 1.0, "events": 10,
+                    "events_per_sec": 10.0, "report": spec.backend}
+
+        monkeypatch.setattr(bench, "execute_spec", fake_execute)
+        monkeypatch.setattr(bench, "_accel_fingerprint", lambda backend: None)
+        document = run_bench(["fig05"], repeat=1, backend="c")
+        compiled = document["figures"]["fig05"]["compiled"]
+        assert compiled["ok"] is False
+        assert "diverged" in compiled["error"]
+
+    def test_pure_backend_adds_no_comparison(self, monkeypatch):
+        monkeypatch.setattr(
+            bench, "execute_spec",
+            lambda spec: {"ok": True, "wall_seconds": 1.0, "events": 10,
+                          "events_per_sec": 10.0},
+        )
+        document = run_bench(["fig05"], repeat=1)
+        assert document["backend"] == "pure"
+        assert document["accel_fingerprint"] is None
+        assert "compiled" not in document["figures"]["fig05"]
+
     def test_write_bench_round_trips(self, tmp_path, monkeypatch):
         monkeypatch.setattr(
             bench, "execute_spec",
@@ -121,6 +166,11 @@ class TestRunProfile:
         report = run_profile("fig05", quick=True, top=25)
         files = {spot["file"] for spot in report["hotspots"]}
         assert any("repro" in name for name in files)
+
+    def test_profile_records_backend(self):
+        report = run_profile("fig05", quick=True, top=5)
+        assert report["backend"] == "pure"
+        assert report["accel_fingerprint"] is None
 
 
 class TestCheckAgainstBaseline:

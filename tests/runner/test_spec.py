@@ -62,6 +62,42 @@ class TestSpecHash:
         del payload["shards"]
         assert RunSpec.from_payload(payload).spec_hash() == spec.spec_hash()
 
+    def test_hash_changes_with_backend(self):
+        """Backends are byte-identical by contract, but a determinism bug
+        in the compiled core must surface as a report diff, never be
+        papered over by a cache hit recorded under the other backend."""
+        hashes = {
+            RunSpec(figure="fig05", backend=backend).spec_hash()
+            for backend in ("pure", "c")
+        }
+        assert len(hashes) == 2
+
+    def test_backend_pinned_in_canonical_json(self):
+        import json
+
+        payload = json.loads(RunSpec(figure="fig05", backend="c").canonical_json())
+        assert payload["backend"] == "c"
+
+    def test_backend_payload_roundtrip(self):
+        spec = RunSpec(figure="fig05", backend="c")
+        again = RunSpec.from_payload(spec.to_payload())
+        assert again.backend == "c"
+        assert again.spec_hash() == spec.spec_hash()
+
+    def test_payload_without_backend_defaults_to_pure(self):
+        """Payloads written before the backend field existed ran pure."""
+        spec = RunSpec(figure="fig05")
+        payload = spec.to_payload()
+        del payload["backend"]
+        assert RunSpec.from_payload(payload).spec_hash() == spec.spec_hash()
+
+    def test_warmup_group_key_is_backend_free(self):
+        """Checkpoints are backend-neutral, so specs differing only in
+        backend share one warm-up prefix."""
+        pure = RunSpec(figure="fig05", backend="pure")
+        compiled = RunSpec(figure="fig05", backend="c")
+        assert pure.warmup_group_key() == compiled.warmup_group_key()
+
     def test_payload_roundtrip(self):
         spec = RunSpec(
             figure="fig07",
