@@ -46,6 +46,7 @@ __all__ = [
     "core",
     "core_dispatched_total",
     "engine_class",
+    "fastpath_stats",
     "make_engine",
     "resolve_backend",
     "use_backend",
@@ -151,6 +152,19 @@ def core_dispatched_total() -> int:
     if _core is None:
         return 0
     return _core.dispatched_total()
+
+
+def fastpath_stats() -> dict:
+    """Process-wide native fast-path counters (zeros when no extension).
+
+    ``{"hits": int, "misses": int, "kinds": {tag: hits}}`` — hits are
+    events a registered C kind handler executed without entering the
+    interpreter; misses fell back to the Python callback path.  Pure
+    dispatch loops count neither.
+    """
+    if _core is None:
+        return {"hits": 0, "misses": 0, "kinds": {}}
+    return _core.fastpath_stats()
 
 
 def build_fingerprint() -> str | None:

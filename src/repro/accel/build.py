@@ -45,13 +45,21 @@ _EXT_SUFFIX = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
 
 
 def source_fingerprint() -> str:
-    """Digest pinning the C source and the interpreter ABI (16 hex chars)."""
+    """Digest pinning the C source and the interpreter ABI (16 hex chars).
+
+    The native-kind manifest digest rides along so a manifest change
+    (new mirrored kind, renamed tag) invalidates cached builds whose
+    registered table would no longer match the install handshake.
+    """
+    from repro.accel import native
+
     payload = "|".join(
         (
             hashlib.sha256(SOURCE_PATH.read_bytes()).hexdigest(),
             "cpython-{}.{}.{}".format(*sys.version_info[:3]),
             sysconfig.get_platform(),
             _EXT_SUFFIX,
+            native.manifest_digest(),
         )
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
@@ -153,4 +161,9 @@ def load(path: str | Path):
         )
     # Compiled guard trips must raise the engine's exception type.
     module._install(pure_engine.SimulationError)
+    # Bind the native event-kind table (function/class pairs + helper
+    # classes) so the dispatch loops can run recognized callbacks in C.
+    from repro.accel import native
+
+    native.install_native_kinds(module)
     return module

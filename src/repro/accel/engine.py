@@ -50,6 +50,10 @@ def _build_wheel_class(core) -> type:
             self.dispatched = 0
             self.sanitizer = None
             self.tracer = None
+            # C member descriptors; zeroed by tp_new, re-zeroed here so
+            # a re-run __init__ (checkpoint restore) restarts the counts
+            self.fastpath_hits = 0
+            self.fastpath_misses = 0
 
         # Scheduling surface, properties, and coercion helpers: the pure
         # implementations verbatim, operating on C-backed attributes.

@@ -1,0 +1,98 @@
+"""Native event-kind registration for the compiled wheel core.
+
+The C extension executes a closed set of hot callbacks ("native
+kinds") without re-entering the interpreter.  The extension only knows
+kind *tags*; this module binds each tag to the concrete Python
+function/class pair at load time and hands the table to
+``_wheelcore._install_kinds`` together with the helper objects the C
+handlers need (sort keys, the ``deque`` type, the exact ``Stats`` /
+``ClassStats`` / ``Bank`` / ``DataBus`` classes used for type guards).
+
+The set of tags is governed by the committed
+:data:`repro.devtools.analysis.hotpath.NATIVE_KERNELS` manifest; the
+handshake below refuses to install a table that disagrees with it, and
+analyzer rule HOT006 checks the same manifest against the
+``repro: native-kernel`` source markers.  Growing the mirrored set is
+therefore always a three-sided change: C handler, manifest entry,
+source marker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["install_native_kinds", "manifest_digest", "native_kinds"]
+
+
+def _manifest() -> dict[str, str]:
+    # Imported lazily: repro.accel must stay importable without pulling
+    # in the devtools package until a compiled backend actually loads.
+    from repro.devtools.analysis.hotpath import NATIVE_KERNELS
+
+    return NATIVE_KERNELS
+
+
+def native_kinds() -> dict[str, str]:
+    """qualname -> kind tag, as committed in the devtools manifest."""
+    return dict(_manifest())
+
+
+def manifest_digest() -> str:
+    """Stable digest of the native-kind inventory.
+
+    Folded into the build fingerprint so a manifest change (new kind,
+    renamed tag) invalidates cached extension builds whose registered
+    table would no longer match.
+    """
+    payload = "\n".join(f"{qual}={kind}" for qual, kind in sorted(_manifest().items()))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def install_native_kinds(core) -> None:
+    """Register the (function, exact class) table with a loaded core."""
+    from collections import deque
+
+    from repro.accel import AccelUnavailable
+    from repro.core.arbiter import PriorityArbiter
+    from repro.core.pacer import Pacer
+    from repro.dram.bank import Bank
+    from repro.dram.channel import DataBus
+    from repro.dram.controller import MemoryController
+    from repro.sim.stats import ClassStats, Stats
+    from repro.sim.system import _BY_KEY, _BY_NOC_SEQ, System
+
+    kinds = {
+        "pacer_release_head": (Pacer._release_head, Pacer),
+        "mc_run_pass": (MemoryController._run_pass, MemoryController),
+        "mc_complete": (MemoryController._complete, MemoryController),
+        "mc_complete_fused": (MemoryController._complete_fused, MemoryController),
+        "sys_deliver": (System._deliver, System),
+        "sys_pump_mc": (System._pump_mc, System),
+        "sys_enqueue_response": (System._enqueue_response, System),
+        "sys_flush_responses": (System._flush_responses, System),
+        # Synchronous mirrors: recognized at their C call sites (listener
+        # fan-out, arbiter pick/accept), not via wheel dispatch.
+        "sys_on_mc_space": (System._on_mc_space, System),
+        "mc_policy_on_accept": (PriorityArbiter.on_accept, PriorityArbiter),
+        "mc_policy_pick": (PriorityArbiter.pick, PriorityArbiter),
+    }
+    declared = set(_manifest().values())
+    if set(kinds) != declared:
+        missing = sorted(declared - set(kinds))
+        extra = sorted(set(kinds) - declared)
+        raise AccelUnavailable(
+            "native kind table disagrees with the NATIVE_KERNELS manifest "
+            f"(missing={missing}, unregistered={extra}); update "
+            "repro.devtools.analysis.hotpath.NATIVE_KERNELS and "
+            "repro.accel.native together"
+        )
+    helpers = {
+        "bank": Bank,
+        "databus": DataBus,
+        "stats": Stats,
+        "class_stats": ClassStats,
+        "deque": deque,
+        "by_key": _BY_KEY,
+        "by_noc_seq": _BY_NOC_SEQ,
+    }
+    core._install_kinds(kinds, helpers)

@@ -372,10 +372,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             compiled = entry.get("compiled")
             if compiled is not None:
                 if compiled.get("ok"):
+                    rate = compiled.get("fastpath_hit_rate")
+                    coverage = (
+                        f", fast-path {rate:.2%}" if rate is not None else ""
+                    )
                     print(f"{'':<8} vs pure: "
                           f"{compiled['pure_wall_seconds']:.2f}s pure  "
                           f"({compiled['speedup_vs_pure']:.2f}x compiled, "
-                          f"byte-identical)")
+                          f"byte-identical{coverage})")
                 else:
                     failures += 1
                     print(f"{'':<8} vs pure FAILED: {compiled.get('error')}")
@@ -446,6 +450,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(f"{args.experiment:<8} {report['wall_seconds']:>8.2f}s (profiled)  "
           f"{report['events']:>12,} events  "
           f"{report['events_per_sec']:>12,.0f} events/s")
+    fastpath = report.get("fastpath")
+    if fastpath is not None:
+        print(f"  fast-path: {fastpath['hits']:,} hits / "
+              f"{fastpath['misses']:,} misses "
+              f"({fastpath['hit_rate']:.2%} native dispatch)")
+        kinds = sorted(
+            fastpath.get("kinds", {}).items(), key=lambda kv: -kv[1]
+        )
+        for tag, count in kinds:
+            print(f"    {tag:<24} {count:>12,}")
     for spot in report["hotspots"][:10]:
         location = f"{spot['file']}:{spot['line']}"
         print(f"  {spot['tottime']:>8.3f}s  {spot['function']:<28} {location}")
@@ -489,6 +503,19 @@ def _cmd_accel(args: argparse.Namespace) -> int:
     print(f"artifact:    {path} "
           f"({'present' if path.exists() else 'not built'})")
     print(f"auto resolves to: {accel.resolve_backend('auto')}")
+    from repro.accel import native
+
+    kinds = native.native_kinds()
+    print(f"native kinds ({len(kinds)}, manifest "
+          f"{native.manifest_digest()}):")
+    for qualname, tag in sorted(kinds.items(), key=lambda kv: kv[1]):
+        print(f"  {tag:<24} {qualname}")
+    stats = accel.fastpath_stats()
+    total = stats["hits"] + stats["misses"]
+    if total:
+        print(f"fast-path this process: {stats['hits']:,} hits / "
+              f"{stats['misses']:,} misses "
+              f"({stats['hits'] / total:.2%})")
     return 0
 
 

@@ -81,7 +81,7 @@ class PriorityArbiter(SchedulingPolicy):
     # ------------------------------------------------------------------
     # SchedulingPolicy interface
     # ------------------------------------------------------------------
-    def on_accept(self, req: MemoryRequest, now: int) -> None:
+    def on_accept(self, req: MemoryRequest, now: int) -> None:  # repro: native-kernel
         if not req.is_read:
             return
         stride = self._registry.stride(req.qos_id)
@@ -93,7 +93,7 @@ class PriorityArbiter(SchedulingPolicy):
         self._clocks[req.qos_id] = clock
         req.virtual_deadline = clock
 
-    def pick(
+    def pick(  # repro: native-kernel
         self, candidates: Sequence[MemoryRequest], banks: Sequence[Bank], now: int
     ) -> MemoryRequest:
         if not candidates[0].is_read:

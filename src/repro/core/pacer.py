@@ -160,7 +160,7 @@ class Pacer:
         else:
             self._engine.post_at(when, self._release_head, self._release_token)
 
-    def _release_head(self, token: int) -> None:
+    def _release_head(self, token: int) -> None:  # repro: native-kernel
         if token != self._release_token:
             return  # superseded by a reschedule since this event was armed
         self._release_now()

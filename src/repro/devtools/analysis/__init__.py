@@ -83,6 +83,10 @@ WHOLE_PROGRAM_RULES: dict[str, tuple[str, str]] = {
         "hot-kernel manifest and '# repro: hot-kernel' markers disagree",
         "hot-path",
     ),
+    "HOT006": (
+        "NATIVE_KERNELS manifest and 'repro: native-kernel' markers disagree",
+        "hot-path",
+    ),
     "CKPT001": (
         "checkpoint-reachable field holds an OS resource "
         "(file handle/lock/thread/socket/module/weakref)",

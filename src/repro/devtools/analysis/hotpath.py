@@ -34,6 +34,12 @@ HOT004    timestamp-like parameters (``when``/``now``/``deadline``/
 HOT005    manifest integrity: every manifest entry must resolve to a
           marked function, and every marked function must be in the
           manifest (machine-checked kernel inventory).
+HOT006    native-mirror integrity: every function mirrored in C by the
+          compiled backend carries a trailing ``repro: native-kernel``
+          marker, and the marked set must agree exactly with the
+          ``NATIVE_KERNELS`` manifest the backend registers at load
+          time (for foreign packages: a module-level ``NATIVE_KERNELS``
+          dict literal, statically extracted).
 ========  ==============================================================
 """
 
@@ -44,9 +50,21 @@ import ast
 from repro.devtools.analysis.symbols import FunctionInfo, ModuleInfo, ProjectIndex
 from repro.devtools.lint import Diagnostic
 
-__all__ = ["HOT_KERNELS", "MARKER", "analyze_hot_kernels", "find_kernels"]
+__all__ = [
+    "HOT_KERNELS",
+    "MARKER",
+    "NATIVE_KERNELS",
+    "NATIVE_MARKER",
+    "analyze_hot_kernels",
+    "find_kernels",
+    "find_native_kernels",
+]
 
 MARKER = "# repro: hot-kernel"
+
+#: No leading ``#`` so a combined comment satisfies both substring
+#: checks: ``# repro: hot-kernel; repro: native-kernel``.
+NATIVE_MARKER = "repro: native-kernel"
 
 #: The committed hot-kernel inventory for the ``repro`` package: the
 #: wheel dispatch loops, the controller scheduling pass and bank issue
@@ -58,6 +76,27 @@ HOT_KERNELS: dict[str, str] = {
     "repro.dram.controller.MemoryController._issue_ready": "bank issue inner loop",
     "repro.core.pacer.Pacer._release_now": "pacer drain loop",
     "repro.qos.monitor.BandwidthMonitor.share": "per-class bandwidth share scan",
+}
+
+#: The committed native-mirror inventory: callbacks the compiled wheel
+#: core executes in C without re-entering the interpreter.  Keys are
+#: qualnames; values are the kind tags the C extension registers via
+#: ``_install_kinds``.  The runtime handshake
+#: (:func:`repro.accel.native.install_native_kinds`) and rule HOT006
+#: both check against this dict, so growing the mirrored set is always
+#: a reviewed, two-sided change.
+NATIVE_KERNELS: dict[str, str] = {
+    "repro.core.pacer.Pacer._release_head": "pacer_release_head",
+    "repro.dram.controller.MemoryController._run_pass": "mc_run_pass",
+    "repro.dram.controller.MemoryController._complete": "mc_complete",
+    "repro.dram.controller.MemoryController._complete_fused": "mc_complete_fused",
+    "repro.sim.system.System._deliver": "sys_deliver",
+    "repro.sim.system.System._pump_mc": "sys_pump_mc",
+    "repro.sim.system.System._enqueue_response": "sys_enqueue_response",
+    "repro.sim.system.System._flush_responses": "sys_flush_responses",
+    "repro.sim.system.System._on_mc_space": "sys_on_mc_space",
+    "repro.core.arbiter.PriorityArbiter.on_accept": "mc_policy_on_accept",
+    "repro.core.arbiter.PriorityArbiter.pick": "mc_policy_pick",
 }
 
 _BANNED_CALLS = {
@@ -86,6 +125,57 @@ def find_kernels(index: ProjectIndex) -> dict[str, FunctionInfo]:
             if line_index < len(module.lines) and MARKER in module.lines[line_index]:
                 kernels[fn.qualname] = fn
     return kernels
+
+
+def find_native_kernels(index: ProjectIndex) -> dict[str, FunctionInfo]:
+    """Every function whose ``def`` line carries the native-kernel marker."""
+    kernels: dict[str, FunctionInfo] = {}
+    for module in index.modules.values():
+        for fn in _iter_functions(module):
+            if fn.node is None:
+                continue
+            line_index = fn.node.lineno - 1
+            if line_index < len(module.lines) and NATIVE_MARKER in module.lines[line_index]:
+                kernels[fn.qualname] = fn
+    return kernels
+
+
+def _native_manifest(index: ProjectIndex) -> dict[str, str]:
+    """The NATIVE_KERNELS manifest that governs ``index``'s package.
+
+    The ``repro`` package is governed by the committed module-level
+    manifest above.  Any other package (test corpora, third-party
+    trees) is governed by module-level ``NATIVE_KERNELS`` dict literals
+    found inside the package itself, statically extracted and merged —
+    so corpus projects can declare (and violate) their own inventory.
+    """
+    if index.package == "repro":
+        return dict(NATIVE_KERNELS)
+    manifest: dict[str, str] = {}
+    for module in sorted(index.modules):
+        tree = index.modules[module].tree
+        if tree is None:
+            continue
+        for node in tree.body:
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+            if not (isinstance(target, ast.Name) and target.id == "NATIVE_KERNELS"):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Dict):
+                continue
+            for key, val in zip(value.keys, value.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(val, ast.Constant)
+                    and isinstance(val.value, str)
+                ):
+                    manifest[key.value] = val.value
+    return manifest
 
 
 def analyze_hot_kernels(index: ProjectIndex) -> list[Diagnostic]:
@@ -137,6 +227,54 @@ def analyze_hot_kernels(index: ProjectIndex) -> list[Diagnostic]:
                         ),
                     )
                 )
+
+    # HOT006: two-sided native-mirror check.  Manifest entries must be
+    # marked; marked functions must be in the manifest.  Unlike HOT005,
+    # the marked-without-manifest direction is not gated on a non-empty
+    # manifest: a native marker claims a C twin exists, and an
+    # unregistered twin is a violation in any package.
+    native_manifest = _native_manifest(index)
+    native_marked = find_native_kernels(index)
+    for qualname in sorted(native_manifest):
+        if qualname.split(".")[0] != index.package:
+            continue
+        if qualname in native_marked:
+            continue
+        module_name = _owning_module(index, qualname)
+        module = index.modules.get(module_name)
+        diagnostics.append(
+            Diagnostic(
+                path=module.path if module is not None else "<manifest>",
+                line=1,
+                col=0,
+                code="HOT006",
+                message=(
+                    f"NATIVE_KERNELS entry {qualname} (kind "
+                    f"'{native_manifest[qualname]}') is not marked with "
+                    f"'{NATIVE_MARKER}' on its def line (or does not "
+                    "exist); the registered C mirrors and the marked set "
+                    "must agree"
+                ),
+            )
+        )
+    for qualname, fn in sorted(native_marked.items()):
+        if qualname in native_manifest:
+            continue
+        module = index.modules[fn.module]
+        diagnostics.append(
+            Diagnostic(
+                path=module.path,
+                line=fn.lineno,
+                col=0,
+                code="HOT006",
+                message=(
+                    f"{qualname} is marked '{NATIVE_MARKER}' but absent "
+                    "from the NATIVE_KERNELS manifest; a native marker "
+                    "claims a registered C twin — declare the kind tag "
+                    "or drop the marker"
+                ),
+            )
+        )
 
     for qualname in sorted(kernels):
         fn = kernels[qualname]

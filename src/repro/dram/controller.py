@@ -257,7 +257,7 @@ class MemoryController:
         else:
             engine.post_at(when, self._run_pass, token)
 
-    def _run_pass(self, token: int) -> None:  # repro: hot-kernel
+    def _run_pass(self, token: int) -> None:  # repro: hot-kernel; repro: native-kernel
         if token != self._pass_token:
             return  # superseded by a later request for an earlier pass
         self._pass_at = None
@@ -483,13 +483,13 @@ class MemoryController:
             self.active_cycles += delta
             self._stats.mc_active_cycles += delta
 
-    def _complete(self, req: MemoryRequest) -> None:
+    def _complete(self, req: MemoryRequest) -> None:  # repro: native-kernel
         self._retire(req)
         if req.is_read and self.on_read_complete is not None:
             self.on_read_complete(req)
         self._request_pass(self._engine._now)
 
-    def _complete_fused(self, req: MemoryRequest) -> None:
+    def _complete_fused(self, req: MemoryRequest) -> None:  # repro: native-kernel
         # First hop of a fused read chain: identical to _complete except
         # that the engine schedules the core response itself (the chain
         # continuation replaces the on_read_complete -> post round trip).

@@ -99,11 +99,30 @@ def run_bench(
     """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
+    if backend == "c":
+        # Force the extension build up front so no timed (or warm-up)
+        # window pays the compiler.  A failed build is not raised here:
+        # the warm-up run surfaces it as the figure's error entry.
+        from repro import accel
+
+        try:
+            accel.resolve_backend("c")
+        except accel.AccelUnavailable:
+            pass
     results: dict[str, Any] = {}
     for figure in figures:
         walls: list[float] = []
         entry: dict[str, Any] | None = None
         report: str | None = None
+        fastpath: dict[str, Any] | None = None
+        # One untimed warm-up run per figure: first-run costs (imports,
+        # code caches, allocator growth) never land in the median.
+        warmup = execute_spec(
+            RunSpec(figure=figure, quick=quick, seed=seed, backend=backend)
+        )
+        if not warmup.get("ok"):
+            results[figure] = {"ok": False, "error": warmup.get("error")}
+            continue
         for _ in range(repeat):
             outcome = execute_spec(
                 RunSpec(figure=figure, quick=quick, seed=seed, backend=backend)
@@ -113,6 +132,7 @@ def run_bench(
                 break
             walls.append(outcome["wall_seconds"])
             report = outcome.get("report")
+            fastpath = outcome.get("fastpath")
             entry = {"ok": True, "events": outcome["events"]}
         if entry.get("ok"):
             wall = statistics.median(walls)
@@ -125,7 +145,7 @@ def run_bench(
                 )
             if backend == "c":
                 entry["compiled"] = _bench_vs_pure(
-                    figure, quick, seed, wall, report
+                    figure, quick, seed, wall, report, fastpath
                 )
         results[figure] = entry
     document = {
@@ -162,6 +182,7 @@ def _bench_vs_pure(
     seed: int,
     c_wall: float,
     c_report: str | None,
+    fastpath: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """One pure-backend run of a figure, byte-checked against the C run."""
     outcome = execute_spec(
@@ -175,12 +196,19 @@ def _bench_vs_pure(
             "error": "compiled report diverged from pure-backend run",
         }
     pure_wall = outcome["wall_seconds"]
-    return {
+    entry = {
         "ok": True,
         "pure_wall_seconds": round(pure_wall, 4),
         "speedup_vs_pure": round(pure_wall / c_wall, 3) if c_wall > 0 else 0.0,
         "byte_identical": c_report is not None,
     }
+    if fastpath is not None:
+        # From the last timed C repeat: dispatch-loop coverage of the
+        # native kind handlers (see repro.accel.fastpath_stats).
+        entry["fastpath_hits"] = fastpath.get("hits")
+        entry["fastpath_misses"] = fastpath.get("misses")
+        entry["fastpath_hit_rate"] = fastpath.get("hit_rate")
+    return entry
 
 
 def _bench_sharded(
@@ -343,6 +371,12 @@ def run_profile(
         report["wall_seconds"] = round(outcome["wall_seconds"], 4)
         report["events"] = outcome["events"]
         report["events_per_sec"] = round(outcome["events_per_sec"], 1)
+        fastpath = outcome.get("fastpath")
+        if fastpath is not None:
+            # Native fast-path coverage for this run: hit/miss totals and
+            # per-kind native dispatch counts, so a profile of the C
+            # backend shows *what* the opaque run_until frame executed.
+            report["fastpath"] = dict(fastpath)
     else:
         report["error"] = outcome.get("error")
     return report

@@ -92,12 +92,13 @@ def execute_spec(spec: "Any", warm_start_dir: str | None = None) -> dict[str, An
     module = figure_module(spec.figure)
     kwargs = _run_kwargs(spec.cell)
     events_before = dispatched_total()
+    fp_before = accel.fastpath_stats()
     started = time.perf_counter()
     with backing, config_overrides(**dict(spec.overrides)), warming, sharding:
         result = module.run(quick=spec.quick, seed=spec.seed, **kwargs)
     wall = time.perf_counter() - started
     events = dispatched_total() - events_before
-    return {
+    outcome = {
         "ok": True,
         "figure": spec.figure,
         "label": spec.label(),
@@ -105,4 +106,36 @@ def execute_spec(spec: "Any", warm_start_dir: str | None = None) -> dict[str, An
         "wall_seconds": wall,
         "events": events,
         "events_per_sec": events / wall if wall > 0 else 0.0,
+    }
+    fastpath = _fastpath_delta(fp_before, accel.fastpath_stats())
+    if fastpath is not None:
+        outcome["fastpath"] = fastpath
+    return outcome
+
+
+def _fastpath_delta(
+    before: Mapping[str, Any], after: Mapping[str, Any]
+) -> dict[str, Any] | None:
+    """Native fast-path counter delta for one run, or None if idle.
+
+    The extension's counters are process-global, so the delta isolates
+    this run's dispatch coverage.  A pure-backend run moves nothing and
+    reports nothing.
+    """
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    if hits == 0 and misses == 0:
+        return None
+    kinds_before = before.get("kinds", {})
+    kinds = {
+        tag: count - kinds_before.get(tag, 0)
+        for tag, count in after.get("kinds", {}).items()
+        if count - kinds_before.get(tag, 0) > 0
+    }
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": round(hits / total, 6) if total > 0 else 0.0,
+        "kinds": kinds,
     }

@@ -193,6 +193,15 @@ class TimingWheel:
         #: a tracer executes the same bytecode paths as before the slot
         #: existed.
         self.tracer: "RequestTracer | None" = None
+        #: Native fast-path counters, mirroring the C backend's member
+        #: names so obs providers read either backend uniformly.  The
+        #: pure dispatch loops never touch them (there is no native path
+        #: to hit or miss); both stay 0 here.  Part of ``_ENGINE_STATE``
+        #: like every other obs-visible counter: the registry snapshot
+        #: survives a checkpoint round-trip, and a warm-up that really
+        #: dispatched natively reports so even after a backend switch.
+        self.fastpath_hits = 0
+        self.fastpath_misses = 0
 
     # ------------------------------------------------------------------
     # time
@@ -791,6 +800,8 @@ _ENGINE_STATE = (
     "_seed",
     "_rng_children",
     "_epoch_listeners",
+    "fastpath_hits",
+    "fastpath_misses",
 )
 
 

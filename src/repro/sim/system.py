@@ -229,6 +229,10 @@ class System:
         obs.register_counter("stats.requests_rejected", self.stats, "requests_rejected")
         obs.register_counter("stats.bus_busy_cycles", self.stats, "bus_busy_cycles")
         obs.register_counter("stats.mc_active_cycles", self.stats, "mc_active_cycles")
+        # Dispatch-loop fast-path coverage: zero on the pure backend (the
+        # attributes exist on both engine classes), live counts under c.
+        obs.register_counter("accel.fastpath_hits", self.engine, "fastpath_hits")
+        obs.register_counter("accel.fastpath_misses", self.engine, "fastpath_misses")
         for controller in self.controllers:
             prefix = f"mc{controller.mc_id}"
             obs.register_counter(f"{prefix}.reads_accepted", controller, "reads_accepted")
@@ -449,7 +453,7 @@ class System:
         delay = self.topology.tile_to_mc_latency(slice_tile, wb.mc_id)
         self.engine.post(delay, self._deliver, wb)
 
-    def _deliver(self, req: MemoryRequest) -> None:
+    def _deliver(self, req: MemoryRequest) -> None:  # repro: native-kernel
         """Arrival at the MC edge: buffer it and arm this cycle's pump.
 
         All of a cycle's arrivals admit together in the late phase, in
@@ -463,7 +467,7 @@ class System:
             self._mc_pump_armed[req.mc_id] = True
             self.engine.post_late_at(self.engine._now, self._pump_mc, req.mc_id)
 
-    def _pump_mc(self, mc_id: int) -> None:
+    def _pump_mc(self, mc_id: int) -> None:  # repro: native-kernel
         """Late-phase ingress pump for one MC.
 
         Backlogged requests admit first (they are older than anything
@@ -542,7 +546,7 @@ class System:
             if not admitted_any:
                 return
 
-    def _on_mc_space(self, mc_id: int) -> None:
+    def _on_mc_space(self, mc_id: int) -> None:  # repro: native-kernel
         """Synchronous space hint from the controller: run the pump late.
 
         Called inline from the controller's scheduling pass the moment a
@@ -562,7 +566,7 @@ class System:
         delay = self.topology.tile_to_mc_latency(core.core_id, req.mc_id)
         self.engine.post(delay, self._enqueue_response, core, req)
 
-    def _enqueue_response(self, core: Core, req: MemoryRequest) -> None:
+    def _enqueue_response(self, core: Core, req: MemoryRequest) -> None:  # repro: native-kernel
         """Buffer a response arriving at the source tile this cycle.
 
         The late-phase flush delivers the cycle's batch in one canonical
@@ -579,7 +583,7 @@ class System:
         else:
             inbox.append(((1, req.mc_id, req.completed_at), core, req))
 
-    def _flush_responses(self) -> None:
+    def _flush_responses(self) -> None:  # repro: native-kernel
         inbox = self._resp_inbox
         self._resp_inbox = []
         inbox.sort(key=_BY_KEY)

@@ -1,0 +1,19 @@
+"""Seeded HOT006 violations: manifest and markers disagree both ways."""
+
+NATIVE_KERNELS = {
+    "proj.mirrors.Wheel.step": "wheel_step",
+    "proj.mirrors.Wheel.drain": "wheel_drain",
+}
+
+
+class Wheel:
+    def step(self, now: int) -> int:  # repro: native-kernel
+        return now + 1
+
+    def drain(self, now: int) -> int:
+        # declared in NATIVE_KERNELS but the def line has no marker
+        return now
+
+    def flush(self, now: int) -> int:  # repro: native-kernel
+        # marked but absent from NATIVE_KERNELS
+        return now

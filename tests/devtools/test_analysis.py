@@ -12,7 +12,12 @@ from repro.devtools.analysis import (
 )
 from repro.devtools.analysis.cache import load_analysis, store_analysis
 from repro.devtools.analysis.callgraph import build_call_graph
-from repro.devtools.analysis.hotpath import HOT_KERNELS, find_kernels
+from repro.devtools.analysis.hotpath import (
+    HOT_KERNELS,
+    NATIVE_KERNELS,
+    find_kernels,
+    find_native_kernels,
+)
 from repro.devtools.analysis.symbols import build_index
 from repro.devtools.analysis.taint import analyze_taint
 from repro.devtools.lint import Diagnostic
@@ -184,9 +189,12 @@ def test_hot005_fires_on_marker_without_manifest_entry():
     diags = analyze_hot_kernels(index)
     unmarked = [d for d in diags if "absent from the HOT_KERNELS manifest" in d.message]
     assert len(unmarked) == 1 and unmarked[0].code == "HOT005"
-    # ...and every real manifest entry is reported missing from this tiny tree
-    missing = [d for d in diags if "is not marked" in d.message]
+    # ...and every real manifest entry is reported missing from this tiny
+    # tree (HOT005 for the hot inventory, HOT006 for the native mirrors)
+    missing = [d for d in diags if d.code == "HOT005" and "is not marked" in d.message]
     assert len(missing) == len(HOT_KERNELS)
+    native_missing = [d for d in diags if d.code == "HOT006"]
+    assert len(native_missing) == len(NATIVE_KERNELS)
 
 
 def test_corpus_packages_do_not_inherit_repro_manifest():
@@ -194,6 +202,42 @@ def test_corpus_packages_do_not_inherit_repro_manifest():
     from repro.devtools.analysis.hotpath import analyze_hot_kernels
 
     assert analyze_hot_kernels(index) == []
+
+
+def test_native_manifest_entries_all_marked_in_tree():
+    index = build_index(PACKAGE_ROOT)
+    assert set(NATIVE_KERNELS) == set(find_native_kernels(index))
+
+
+def test_hot006_fires_on_native_marker_without_manifest_entry():
+    from repro.devtools.analysis.hotpath import analyze_hot_kernels
+
+    index = _index(
+        {
+            "proj/y.py": (
+                "def mirrored():  # repro: native-kernel\n    return 1\n"
+            )
+        }
+    )
+    diags = [d for d in analyze_hot_kernels(index) if d.code == "HOT006"]
+    assert len(diags) == 1
+    assert "absent from the NATIVE_KERNELS manifest" in diags[0].message
+
+
+def test_hot006_fires_on_manifest_entry_without_marker():
+    from repro.devtools.analysis.hotpath import analyze_hot_kernels
+
+    index = _index(
+        {
+            "proj/y.py": (
+                'NATIVE_KERNELS = {"proj.y.mirrored": "mirrored"}\n'
+                "def mirrored():\n    return 1\n"
+            )
+        }
+    )
+    diags = [d for d in analyze_hot_kernels(index) if d.code == "HOT006"]
+    assert len(diags) == 1
+    assert "is not marked" in diags[0].message
 
 
 # ----------------------------------------------------------------------

@@ -57,7 +57,9 @@ class TestRunBench:
         )
 
     def test_median_wall_time_over_repeats(self, monkeypatch):
-        walls = iter([4.0, 1.0, 2.0])
+        # First value feeds the untimed warm-up run; were it ever timed,
+        # the median would shift to 4.0 and the assertions would catch it.
+        walls = iter([9.0, 4.0, 1.0, 2.0])
 
         def fake_execute(spec):
             wall = next(walls)
