@@ -2,10 +2,13 @@
 
 from repro.baselines.none import NoQosMechanism
 from repro.baselines.source_only import SourceOnlyMechanism
-from repro.baselines.static_partition import static_partition_config
+from repro.baselines.static_partition import (
+    StaticPartitionMechanism,
+    static_partition_config,
+)
 from repro.baselines.target_only import TargetOnlyMechanism
 
 __all__ = [
-    "NoQosMechanism", "SourceOnlyMechanism", "TargetOnlyMechanism",
-    "static_partition_config",
+    "NoQosMechanism", "SourceOnlyMechanism", "StaticPartitionMechanism",
+    "TargetOnlyMechanism", "static_partition_config",
 ]

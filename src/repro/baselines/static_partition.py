@@ -3,14 +3,22 @@
 The paper approximates a hard 1/N bandwidth reservation by running the
 workload in isolation with DRAM frequency scaled down N times.  This module
 builds that configuration so the IaaS experiment can compare PABST's
-work-conserving equal shares against a static split.
+work-conserving equal shares against a static split, and wraps it as a
+first-class :class:`~repro.sim.mechanism.QoSMechanism` so the arena can
+run the baseline through the same interface as every other mechanism.
 """
 
 from __future__ import annotations
 
-from repro.sim.config import SystemConfig
+from typing import TYPE_CHECKING
 
-__all__ = ["static_partition_config"]
+from repro.sim.config import SystemConfig
+from repro.sim.mechanism import QoSMechanism
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.qos.classes import QoSRegistry
+
+__all__ = ["StaticPartitionMechanism", "static_partition_config"]
 
 
 def static_partition_config(config: SystemConfig, share_divisor: int) -> SystemConfig:
@@ -23,3 +31,29 @@ def static_partition_config(config: SystemConfig, share_divisor: int) -> SystemC
     if share_divisor < 1:
         raise ValueError("share_divisor must be >= 1")
     return config.with_dram(config.dram.frequency_scaled(share_divisor))
+
+
+class StaticPartitionMechanism(QoSMechanism):
+    """The Fig. 11 baseline as a mechanism object.
+
+    Exercises the :meth:`~repro.sim.mechanism.QoSMechanism.prepare_config`
+    hook: the "mechanism" is a machine-level config rewrite (DRAM slowed
+    ``share_divisor`` times, emulating a hard 1/N reservation) with no
+    runtime behaviour of its own.  ``share_divisor=None`` defaults to the
+    number of QoS classes, the paper's equal-split setting.
+    """
+
+    name = "static-partition"
+
+    def __init__(self, share_divisor: int | None = None) -> None:
+        if share_divisor is not None and share_divisor < 1:
+            raise ValueError("share_divisor must be >= 1")
+        self.share_divisor = share_divisor
+
+    def prepare_config(
+        self, config: SystemConfig, registry: "QoSRegistry"
+    ) -> SystemConfig:
+        divisor = self.share_divisor
+        if divisor is None:
+            divisor = max(1, len(registry.classes))
+        return static_partition_config(config, divisor)

@@ -7,6 +7,9 @@ Usage::
     python -m repro run-all [--quick]
     python -m repro sweep fig07 [--quick] [--workers N] [--no-cache]
                           [--warm-start] [--backend {pure,c,auto}]
+    python -m repro arena [--quick] [--mechanisms a,b] [--scenarios x,y]
+                          [--workers N] [--output PATH] [--shards N]
+                          [--backend {pure,c,auto}]
     python -m repro checkpoint fig05 [--quick] [--seed N] | --stats | --clear
     python -m repro cache [--stats] [--clear]
     python -m repro trace fig05 [--quick] [--seed N] [--output PATH]
@@ -53,6 +56,7 @@ import time
 from typing import Callable
 
 from repro.experiments import (
+    arena,
     fig01_motivation,
     fig05_proportional,
     fig06_work_conserving,
@@ -88,6 +92,8 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
               "memory-efficiency cost of bandwidth QoS"),
     "soc256": (soc256.run,
                "256-core/32-MC scale-out run (sharded-runner workload)"),
+    "arena": (arena.run,
+              "every QoS mechanism head-to-head over the scenario matrix"),
 }
 
 
@@ -202,6 +208,96 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print()
     print(f"[{len(outcomes)} cell(s), {hits} cached, {failures} failed, "
           f"{elapsed:.1f}s, workers={args.workers}, backend={backend}]")
+    return 1 if failures else 0
+
+
+def _split_csv(value: str | None, default: tuple[str, ...]) -> tuple[str, ...]:
+    if value is None:
+        return default
+    return tuple(name.strip() for name in value.split(",") if name.strip())
+
+
+def _cmd_arena(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.mechanisms import ALL_MECHANISMS
+    from repro.runner import ResultCache, run_specs
+    from repro.runner.spec import RunSpec
+
+    mechanisms = _split_csv(args.mechanisms, ALL_MECHANISMS)
+    scenarios = _split_csv(args.scenarios, arena.SCENARIOS)
+    unknown = [name for name in mechanisms if name not in ALL_MECHANISMS]
+    if unknown:
+        known = ", ".join(ALL_MECHANISMS)
+        print(f"unknown mechanism(s) {unknown}; known: {known}",
+              file=sys.stderr)
+        return 2
+    unknown = [name for name in scenarios if name not in arena.SCENARIOS]
+    if unknown:
+        known = ", ".join(arena.SCENARIOS)
+        print(f"unknown scenario(s) {unknown}; known: {known}",
+              file=sys.stderr)
+        return 2
+    backend = _resolve_backend(args.backend)
+    if backend is None:
+        return 2
+    # One (scenario, mechanism) cell per spec so the pool parallelizes the
+    # matrix and the cache re-serves individual head-to-heads.
+    specs = [
+        RunSpec(
+            figure="arena",
+            cell={"scenarios": (scenario,), "mechanisms": (mechanism,)},
+            seed=args.seed,
+            quick=args.quick,
+            shards=args.shards,
+            backend=backend,
+        )
+        for scenario in scenarios
+        for mechanism in mechanisms
+    ]
+    cache = ResultCache(args.cache_dir)
+    started = time.perf_counter()
+    outcomes = run_specs(
+        specs,
+        workers=args.workers,
+        timeout=args.timeout,
+        cache=cache,
+        use_cache=not args.no_cache,
+        progress=print,
+    )
+    elapsed = time.perf_counter() - started
+    failures = 0
+    documents = []
+    for outcome in outcomes:
+        if not outcome.ok:
+            failures += 1
+            print(f"== {outcome.spec.label()} FAILED: {outcome.error}",
+                  file=sys.stderr)
+            continue
+        document = outcome.result.get("metrics")
+        if document is None:
+            failures += 1
+            print(f"== {outcome.spec.label()} returned no metrics document",
+                  file=sys.stderr)
+            continue
+        documents.append(document)
+    if not documents:
+        print("no arena cells completed", file=sys.stderr)
+        return 1
+    merged = arena.merge_documents(documents)
+    cells = arena.validate_report(merged)
+    print(arena.comparative_report(merged))
+    hits = sum(1 for o in outcomes if o.cached)
+    print()
+    print(f"[{cells} cell(s): {len(merged['mechanisms'])} mechanism(s) x "
+          f"{len(merged['scenarios'])} scenario(s), {hits} cached, "
+          f"{failures} failed, {elapsed:.1f}s, workers={args.workers}, "
+          f"backend={backend}]")
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(merged, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[wrote {args.output}]")
     return 1 if failures else 0
 
 
@@ -601,6 +697,38 @@ def build_parser() -> argparse.ArgumentParser:
                             "--warm-start)")
     _add_backend_argument(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    arena_cmd = sub.add_parser(
+        "arena",
+        help="run every QoS mechanism head-to-head over the scenario "
+             "matrix and print a comparative report",
+    )
+    arena_cmd.add_argument("--quick", action="store_true",
+                           help="reduced scale (seconds instead of minutes)")
+    arena_cmd.add_argument("--seed", type=int, default=0)
+    arena_cmd.add_argument("--mechanisms", default=None,
+                           help="comma-separated mechanism subset "
+                                "(default: every registered mechanism)")
+    arena_cmd.add_argument("--scenarios", default=None,
+                           help="comma-separated scenario subset "
+                                "(default: the full matrix)")
+    arena_cmd.add_argument("--workers", type=int, default=1,
+                           help="worker processes (1 = run in-process)")
+    arena_cmd.add_argument("--timeout", type=float, default=None,
+                           help="per-cell timeout in seconds")
+    arena_cmd.add_argument("--no-cache", action="store_true",
+                           help="ignore cached results (still refreshes them)")
+    arena_cmd.add_argument("--cache-dir", default=".repro-cache",
+                           help="result cache directory "
+                                "(default: .repro-cache)")
+    arena_cmd.add_argument("--shards", type=int, default=1,
+                           help="partition each cell's machine across N "
+                                "engines (byte-identical reports)")
+    arena_cmd.add_argument("--output", default=None,
+                           help="also write the merged repro.arena/v1 JSON "
+                                "document to this path")
+    _add_backend_argument(arena_cmd)
+    arena_cmd.set_defaults(func=_cmd_arena)
 
     checkpoint = sub.add_parser(
         "checkpoint",

@@ -137,6 +137,7 @@ class PabstMechanism(QoSMechanism):
         else:
             pacer = self.pacers.get(core_id)
         if pacer is None:
+            self._obs_granted += 1
             release()
         else:
             pacer.request(req, release)
@@ -185,6 +186,7 @@ class PabstMechanism(QoSMechanism):
     def on_epoch(
         self, saturated: bool, per_mc: tuple[bool, ...] | None = None
     ) -> None:
+        super().on_epoch(saturated, per_mc)
         if self.mc_governors:
             for (core_id, mc_id), governor in self.mc_governors.items():
                 signal = (
@@ -246,6 +248,39 @@ class PabstMechanism(QoSMechanism):
             return governor.multiplier
         return -1
 
+    # ------------------------------------------------------------------
+    # uniform observability (mechanism.* namespace)
+    # ------------------------------------------------------------------
+    @property
+    def obs_releases_granted(self) -> int:
+        """NoC releases: pacer releases plus direct (unpaced) grants."""
+        total = self._obs_granted
+        for pacer in self.pacers.values():
+            total += pacer.released
+        for pacer in self.mc_pacers.values():
+            total += pacer.released
+        return total
+
+    @property
+    def obs_releases_denied(self) -> int:
+        """Requests the pacers deferred at least once (token stalls)."""
+        total = self._obs_denied
+        for pacer in self.pacers.values():
+            total += pacer.throttled
+        for pacer in self.mc_pacers.values():
+            total += pacer.throttled
+        return total
+
+    @property
+    def obs_writeback_charges(self) -> int:
+        """Writeback charges, whichever accounting mode levied them."""
+        total = self._obs_writebacks
+        for pacer in self.pacers.values():
+            total += pacer.writeback_charges
+        for pacer in self.mc_pacers.values():
+            total += pacer.writeback_charges
+        return total
+
     def register_obs(self, registry) -> None:
         """Expose pacer/governor/arbiter state on the obs registry.
 
@@ -254,6 +289,7 @@ class PabstMechanism(QoSMechanism):
         and governors are keyed ``(core, mc)`` and the metric paths gain
         an ``mc`` segment.
         """
+        super().register_obs(registry)
 
         def pacer_obs(name: str, pacer: Pacer) -> None:
             registry.register_counter(f"{name}.released", pacer, "released")

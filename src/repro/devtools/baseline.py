@@ -4,8 +4,15 @@ A baseline entry pins one known finding — matched by ``(path, code,
 message)`` so ordinary line drift does not un-pin it — together with a
 mandatory ``justification`` explaining why it is tolerated rather than
 fixed.  The committed ``LINT_BASELINE.json`` at the repo root is the
-reviewed list; ``repro lint --update-baseline`` regenerates it (with
-placeholder justifications to be filled in by hand).
+reviewed list; ``repro lint --update-baseline`` regenerates it,
+carrying existing justifications forward by key.
+
+Placeholder justifications (empty, or any ``TODO``-prefixed text such
+as :data:`PLACEHOLDER_JUSTIFICATION`) are tracked explicitly: an entry
+with a placeholder suppresses its finding without anyone having
+reviewed it, so the linter warns on load when the baseline contains
+any, and ``--update-baseline`` refuses to mint new ones unless
+``--accept-todo`` is passed.
 """
 
 from __future__ import annotations
@@ -13,12 +20,26 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Mapping
 
 from repro.devtools.lint import Diagnostic
 
-__all__ = ["Baseline", "BaselineEntry"]
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "PLACEHOLDER_JUSTIFICATION",
+    "is_placeholder",
+]
 
 _VERSION = 1
+
+PLACEHOLDER_JUSTIFICATION = "TODO: justify or fix"
+
+
+def is_placeholder(justification: str) -> bool:
+    """True when a justification is missing or an unreviewed TODO stub."""
+    text = justification.strip()
+    return not text or text.upper().startswith("TODO")
 
 
 @dataclass(frozen=True)
@@ -63,18 +84,50 @@ class Baseline:
         return cls(entries)
 
     @classmethod
-    def from_diagnostics(cls, diagnostics: list[Diagnostic]) -> "Baseline":
-        entries = [
-            BaselineEntry(
-                path=_normalize(diag.path),
-                code=diag.code,
-                message=diag.message,
-                line=diag.line,
-                justification="TODO: justify or fix",
+    def from_diagnostics(
+        cls,
+        diagnostics: list[Diagnostic],
+        justifications: Mapping[tuple[str, str, str], str] | None = None,
+    ) -> "Baseline":
+        """Build a baseline for ``diagnostics``.
+
+        ``justifications`` maps entry keys to reviewed justification
+        text (typically the previous baseline's
+        :meth:`justifications`); findings without one get the
+        :data:`PLACEHOLDER_JUSTIFICATION` stub, which the caller is
+        expected to surface via :meth:`placeholder_entries` rather than
+        silently commit.
+        """
+        mapping = justifications or {}
+        entries = []
+        for diag in diagnostics:
+            key = (_normalize(diag.path), diag.code, diag.message)
+            entries.append(
+                BaselineEntry(
+                    path=_normalize(diag.path),
+                    code=diag.code,
+                    message=diag.message,
+                    line=diag.line,
+                    justification=mapping.get(key, PLACEHOLDER_JUSTIFICATION),
+                )
             )
-            for diag in diagnostics
-        ]
         return cls(entries)
+
+    def placeholder_entries(self) -> list[BaselineEntry]:
+        """Entries whose justification is still a placeholder stub."""
+        return [
+            entry
+            for entry in self.entries
+            if is_placeholder(entry.justification)
+        ]
+
+    def justifications(self) -> dict[tuple[str, str, str], str]:
+        """Reviewed (non-placeholder) justification text by entry key."""
+        return {
+            entry.key(): entry.justification
+            for entry in self.entries
+            if not is_placeholder(entry.justification)
+        }
 
     def save(self, path: Path | str) -> None:
         payload = {

@@ -1032,7 +1032,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--update-baseline", action="store_true",
-        help="rewrite the baseline file with all current findings and exit 0",
+        help="rewrite the baseline file with all current findings "
+             "(existing justifications carry forward by key; refuses to "
+             "add new TODO-justified entries without --accept-todo)",
+    )
+    parser.add_argument(
+        "--accept-todo", action="store_true",
+        help="with --update-baseline: allow writing placeholder "
+             "(TODO) justifications for findings the previous baseline "
+             "did not justify",
     )
     parser.add_argument(
         "--no-whole-program", action="store_true",
@@ -1085,11 +1093,56 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline_path = Path(args.baseline)
     if args.update_baseline:
-        Baseline.from_diagnostics(diagnostics).save(baseline_path)
+        previous = Baseline.load(baseline_path)
+        updated = Baseline.from_diagnostics(
+            diagnostics, justifications=previous.justifications()
+        )
+        placeholders = updated.placeholder_entries()
+        if placeholders and not args.accept_todo:
+            print(
+                f"refusing to write {len(placeholders)} baseline entr"
+                f"{'y' if len(placeholders) == 1 else 'ies'} with "
+                "placeholder justifications; justify the findings or "
+                "re-run with --accept-todo:",
+                file=sys.stderr,
+            )
+            for entry in placeholders:
+                print(
+                    f"  {entry.path}:{entry.line}: {entry.code} "
+                    f"{entry.message}",
+                    file=sys.stderr,
+                )
+            return 2
+        updated.save(baseline_path)
         print(f"baseline updated: {baseline_path} ({len(diagnostics)} entries)")
+        if placeholders:
+            print(
+                f"warning: {len(placeholders)} entr"
+                f"{'y has' if len(placeholders) == 1 else 'ies have'} "
+                "placeholder justifications — fill them in before "
+                "committing",
+                file=sys.stderr,
+            )
         return 0
     if not args.no_baseline:
         baseline = Baseline.load(baseline_path)
+        placeholders = baseline.placeholder_entries()
+        if placeholders:
+            from repro.obs.warnings import obs_warn
+
+            obs_warn(
+                "lint.baseline_todo",
+                "baseline %s suppresses %d finding(s) without reviewed "
+                "justifications",
+                baseline_path,
+                len(placeholders),
+            )
+            for entry in placeholders:
+                print(
+                    f"warning: baseline entry {entry.path}: {entry.code} "
+                    "has a placeholder justification — justify or fix",
+                    file=sys.stderr,
+                )
         diagnostics, suppressed = baseline.filter(diagnostics)
         if suppressed and args.timings:
             timings.append(f"baseline suppressed {suppressed} finding(s)")

@@ -14,10 +14,7 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.analysis.timeline import BandwidthTimeline
-from repro.baselines.none import NoQosMechanism
-from repro.baselines.source_only import SourceOnlyMechanism
-from repro.baselines.target_only import TargetOnlyMechanism
-from repro.core.pabst import PabstMechanism
+from repro.mechanisms import MECHANISMS, make_mechanism
 from repro.qos.classes import QoSRegistry
 from repro.sim.config import SystemConfig
 from repro.sim.mechanism import QoSMechanism
@@ -176,22 +173,9 @@ def sharded(shards: int, backend: str = "process") -> Iterator[None]:
 _default_shard_backend = "process"
 
 
-MECHANISMS: dict[str, Callable[[], QoSMechanism]] = {
-    "none": NoQosMechanism,
-    "source-only": SourceOnlyMechanism,
-    "target-only": TargetOnlyMechanism,
-    "pabst": PabstMechanism,
-}
-
-
-def make_mechanism(name: str) -> QoSMechanism:
-    """Instantiate a mechanism by its experiment-table name."""
-    try:
-        factory = MECHANISMS[name]
-    except KeyError:
-        known = ", ".join(sorted(MECHANISMS))
-        raise KeyError(f"unknown mechanism {name!r}; known: {known}") from None
-    return factory()
+# MECHANISMS / make_mechanism now live in repro.mechanisms (the full
+# zoo, including the paper's baselines); re-exported here because the
+# fig* modules and external callers import them from this module.
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,161 @@
+"""LMS-AR: a prediction-based adaptive bandwidth regulator.
+
+A rival learning mechanism in the spirit of LMS-driven adaptive memory
+regulators (see PAPERS.md): per class, a least-mean-squares filter over
+the recent utilization history predicts the *next* window's utilization,
+and that prediction — not the lagging measurement — feeds a
+:class:`~repro.qos.policy.BandwidthTargetPolicy` that steers the class
+weight toward its entitled share of a system utilization setpoint.
+
+Mechanically this rides on the PABST source half (governor + pacer,
+target arbiter disabled): the policy rewrites class weights, the
+governors re-read strides every epoch, so weight changes take effect at
+the next heartbeat.  The LMS filter itself is a plain normalized-LMS
+autoregressive predictor — small, deterministic float arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.config import PabstConfig
+from repro.core.pabst import PabstMechanism
+from repro.qos.policy import BandwidthTargetPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.system import System
+
+__all__ = ["LmsArMechanism", "LmsPredictor"]
+
+
+class LmsPredictor:
+    """Normalized-LMS autoregressive one-step predictor.
+
+    Predicts the next sample from the last ``taps`` samples; ``observe``
+    adapts the tap weights against the realized sample.  Weights start
+    at ``1/taps`` (a moving average) so the cold-start prediction is
+    sensible, and normalization keeps the adaptation stable for any
+    input scale.
+    """
+
+    def __init__(self, taps: int = 4, mu: float = 0.5) -> None:
+        if taps < 1:
+            raise ValueError("taps must be >= 1")
+        if not 0.0 < mu < 2.0:
+            raise ValueError("mu must be in (0, 2) for NLMS stability")
+        self.taps = taps
+        self.mu = mu
+        self.weights = [1.0 / taps] * taps
+        self.history = [0.0] * taps  # newest first
+        self.updates = 0
+
+    def predict(self) -> float:
+        total = 0.0
+        for weight, sample in zip(self.weights, self.history):
+            total += weight * sample
+        return total
+
+    def observe(self, actual: float) -> float:
+        """Adapt against ``actual``, then absorb it; returns the error."""
+        error = actual - self.predict()
+        norm = 1e-9
+        for sample in self.history:
+            norm += sample * sample
+        scale = self.mu * error / norm
+        self.weights = [
+            weight + scale * sample
+            for weight, sample in zip(self.weights, self.history)
+        ]
+        self.history = [actual] + self.history[:-1]
+        self.updates += 1
+        return error
+
+
+class LmsArMechanism(PabstMechanism):
+    """Source regulation steered by per-class LMS utilization predictions."""
+
+    def __init__(
+        self,
+        config: PabstConfig | None = None,
+        taps: int = 4,
+        mu: float = 0.5,
+        update_every: int = 4,
+        system_setpoint: float = 0.9,
+        gain: float = 1.25,
+        deadband: float = 0.05,
+    ) -> None:
+        super().__init__(
+            config=config, enable_governor=True, enable_arbiter=False
+        )
+        if update_every < 1:
+            raise ValueError("update_every must be >= 1")
+        if not 0.0 < system_setpoint <= 1.0:
+            raise ValueError("system_setpoint must be in (0, 1]")
+        self.name = "lms-ar"
+        self.taps = taps
+        self.mu = mu
+        self.update_every = update_every
+        self.system_setpoint = system_setpoint
+        self.policy_gain = gain
+        self.policy_deadband = deadband
+        self.predictors: dict[int, LmsPredictor] = {}
+        self.policies: dict[int, BandwidthTargetPolicy] = {}
+        self._monitor = None
+        self._epochs_seen = 0
+
+    def attach(self, system: "System") -> None:
+        super().attach(system)
+        self._monitor = system.bandwidth_monitor
+        classes = sorted(system.registry.classes, key=lambda c: c.qos_id)
+        total_weight = sum(cls.weight for cls in classes)
+        for cls in classes:
+            target = (cls.weight / total_weight) * self.system_setpoint
+            self.predictors[cls.qos_id] = LmsPredictor(
+                taps=self.taps, mu=self.mu
+            )
+            self.policies[cls.qos_id] = BandwidthTargetPolicy(
+                system.registry,
+                system.bandwidth_monitor,
+                cls.qos_id,
+                target_utilization=target,
+                gain=self.policy_gain,
+                deadband=self.policy_deadband,
+            )
+
+    def on_epoch(
+        self, saturated: bool, per_mc: tuple[bool, ...] | None = None
+    ) -> None:
+        super().on_epoch(saturated, per_mc)
+        if self._monitor is None:
+            return
+        self._epochs_seen += 1
+        # The heartbeat fires before the stats window closes, so the
+        # freshest sample the monitor sees is the previous epoch — a
+        # one-epoch observation lag, identical every run.
+        for qos_id in sorted(self.predictors):
+            actual = self._monitor.utilization(qos_id, window_epochs=1)
+            self.predictors[qos_id].observe(actual)
+        if self._epochs_seen % self.update_every:
+            return
+        for qos_id in sorted(self.policies):
+            prediction = self.predictors[qos_id].predict()
+            self.policies[qos_id].update(observed=prediction)
+
+    def register_obs(self, registry) -> None:
+        super().register_obs(registry)
+        for qos_id in sorted(self.policies):
+            policy = self.policies[qos_id]
+            registry.register_counter(
+                f"lmsar.q{qos_id}.adjustments", policy, "adjustments"
+            )
+            registry.register_counter(
+                f"lmsar.q{qos_id}.deadband_holds", policy, "deadband_holds"
+            )
+            registry.register_gauge(
+                f"lmsar.q{qos_id}.weight", policy, "weight"
+            )
+            registry.register_counter(
+                f"lmsar.q{qos_id}.filter_updates",
+                self.predictors[qos_id],
+                "updates",
+            )

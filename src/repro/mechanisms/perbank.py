@@ -1,0 +1,148 @@
+"""Per-bank bandwidth regulation at the source (MemGuard-style windows).
+
+A rival source-side mechanism in the spirit of per-bank memory bandwidth
+regulation (see PAPERS.md): each (class, controller, bank) triple gets a
+token budget per QoS epoch, sized from the class's weight share of the
+bank's service capacity.  A demand miss that finds its triple out of
+tokens is parked in a FIFO and released at the next epoch boundary when
+budgets refill — a hard regulation window, unlike PABST's work-conserving
+pacing.
+
+The invariant the mechanism guarantees (and the arena checks): within any
+single epoch, no (class, controller, bank) triple is granted more
+releases than its budget.  ``budget_overruns`` counts violations of that
+invariant and must stay zero.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from repro.sim.mechanism import QoSMechanism
+from repro.sim.records import MemoryRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.system import System
+
+__all__ = ["PerBankRegulatorMechanism"]
+
+
+class PerBankRegulatorMechanism(QoSMechanism):
+    """Source-side per-(class, mc, bank) token budgets per QoS epoch."""
+
+    name = "perbank"
+
+    def __init__(self, accesses_per_bank: int | None = None) -> None:
+        """``accesses_per_bank`` is the per-bank epoch budget split across
+        classes by weight; ``None`` derives it from the bank's service
+        capacity (``epoch_cycles // closed_page_service``)."""
+        if accesses_per_bank is not None and accesses_per_bank < 1:
+            raise ValueError("accesses_per_bank must be >= 1")
+        self.accesses_per_bank = accesses_per_bank
+        # (qos_id, mc_id, bank_id) -> budget / remaining tokens this epoch
+        self.budgets: dict[tuple[int, int, int], int] = {}
+        self._tokens: dict[tuple[int, int, int], int] = {}
+        self._granted_this_epoch: dict[tuple[int, int, int], int] = {}
+        self._queues: dict[
+            tuple[int, int, int], deque[Callable[[], None]]
+        ] = {}
+        self.budget_overruns = 0
+        self.max_epoch_grants = 0
+        self._decode = None
+
+    # ------------------------------------------------------------------
+    # QoSMechanism interface
+    # ------------------------------------------------------------------
+    def attach(self, system: "System") -> None:
+        config = system.config
+        self._decode = system.address_map.decode
+        per_bank = self.accesses_per_bank
+        if per_bank is None:
+            per_bank = max(
+                1, config.epoch_cycles // config.dram.closed_page_service
+            )
+        classes = sorted(system.registry.classes, key=lambda c: c.qos_id)
+        total_weight = sum(cls.weight for cls in classes)
+        for cls in classes:
+            share = cls.weight / total_weight
+            budget = max(1, int(share * per_bank))
+            for mc_id in range(config.num_mcs):
+                for bank_id in range(config.banks_per_mc):
+                    key = (cls.qos_id, mc_id, bank_id)
+                    self.budgets[key] = budget
+                    self._tokens[key] = budget
+                    self._granted_this_epoch[key] = 0
+                    self._queues[key] = deque()
+
+    def request_release(
+        self, core_id: int, req: MemoryRequest, release: Callable[[], None]
+    ) -> None:
+        assert self._decode is not None
+        _, mc_id, bank_id, _ = self._decode(req.addr)
+        key = (req.qos_id, mc_id, bank_id)
+        tokens = self._tokens.get(key)
+        if tokens is None:
+            # class/bank outside the attach-time table: pass through
+            self._obs_granted += 1
+            release()
+            return
+        if tokens > 0 and not self._queues[key]:
+            self._tokens[key] = tokens - 1
+            self._grant(key, release)
+            return
+        self._obs_denied += 1
+        self._queues[key].append(release)
+
+    def on_epoch(
+        self, saturated: bool, per_mc: tuple[bool, ...] | None = None
+    ) -> None:
+        super().on_epoch(saturated, per_mc)
+        # close the window: record the high-water mark, refill, then
+        # drain parked requests (deterministic key order) into the new
+        # window's budgets
+        for key, granted in self._granted_this_epoch.items():
+            if granted > self.max_epoch_grants:
+                self.max_epoch_grants = granted
+            if granted > self.budgets[key]:
+                self.budget_overruns += 1
+            self._granted_this_epoch[key] = 0
+        for key, budget in self.budgets.items():
+            self._tokens[key] = budget
+        for key in sorted(self._queues):
+            queue = self._queues[key]
+            while queue and self._tokens[key] > 0:
+                self._tokens[key] -= 1
+                self._grant(key, queue.popleft())
+
+    def _grant(self, key: tuple[int, int, int], release: Callable[[], None]) -> None:
+        self._granted_this_epoch[key] += 1
+        self._obs_granted += 1
+        release()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def parked(self) -> int:
+        """Requests currently held until the next regulation window."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    def bound_report(self) -> dict:
+        return {
+            "kind": "perbank-epoch-budget",
+            "bound": max(self.budgets.values(), default=0),
+            "max_observed": self.max_epoch_grants,
+            "violations": self.budget_overruns,
+            "ok": self.budget_overruns == 0,
+        }
+
+    def register_obs(self, registry) -> None:
+        super().register_obs(registry)
+        registry.register_counter(
+            "perbank.budget_overruns", self, "budget_overruns"
+        )
+        registry.register_gauge("perbank.parked", self, "parked")
+        registry.register_gauge(
+            "perbank.max_epoch_grants", self, "max_epoch_grants"
+        )

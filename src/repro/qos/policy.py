@@ -30,10 +30,21 @@ class BandwidthTargetPolicy:
     target_utilization:
         Desired bandwidth as a fraction of system peak.
     gain:
-        Multiplicative step per update; 1.25 reacts within a few epochs
-        without ringing.
+        Maximum multiplicative step per update; 1.25 reacts within a few
+        epochs without ringing.
     deadband:
         Relative error tolerated before adjusting, to avoid weight churn.
+    max_step:
+        Optional hard cap on the per-update multiplicative step, on top
+        of the error-proportional slew limit below.
+
+    The applied step is slew-limited: it scales with the relative error
+    (``1 + |error| / target``) up to ``gain``, so a single noisy window
+    just outside the deadband nudges the weight instead of swinging it
+    by the full gain — the oscillation mode the unlimited controller
+    exhibited.  ``adjustments`` counts applied weight changes and
+    ``deadband_holds`` counts updates absorbed by the deadband, so the
+    two together account for every call.
     """
 
     def __init__(
@@ -46,6 +57,7 @@ class BandwidthTargetPolicy:
         deadband: float = 0.05,
         min_weight: float = 0.25,
         max_weight: float = 256.0,
+        max_step: float | None = None,
     ) -> None:
         if not 0.0 < target_utilization <= 1.0:
             raise ValueError("target_utilization must be in (0, 1]")
@@ -55,6 +67,8 @@ class BandwidthTargetPolicy:
             raise ValueError("deadband must be non-negative")
         if not 0 < min_weight <= max_weight:
             raise ValueError("need 0 < min_weight <= max_weight")
+        if max_step is not None and max_step <= 1.0:
+            raise ValueError("max_step must be > 1")
         registry.get(qos_id)
         self._registry = registry
         self._monitor = monitor
@@ -64,27 +78,38 @@ class BandwidthTargetPolicy:
         self._deadband = deadband
         self._min_weight = min_weight
         self._max_weight = max_weight
+        self._max_step = max_step
         self.adjustments = 0
+        self.deadband_holds = 0
 
     @property
     def weight(self) -> float:
         return self._registry.weight(self.qos_id)
 
-    def update(self, window_epochs: int = 5) -> float:
+    def update(
+        self, window_epochs: int = 5, observed: float | None = None
+    ) -> float:
         """One control step; returns the (possibly new) weight.
 
         Call at epoch granularity, e.g. every few epochs from the
-        experiment loop.
+        experiment loop.  ``observed`` overrides the monitor reading —
+        a predictive regulator (the LMS-AR mechanism) feeds its
+        predicted utilization here instead of the measured one.
         """
-        observed = self._monitor.utilization(self.qos_id, window_epochs)
+        if observed is None:
+            observed = self._monitor.utilization(self.qos_id, window_epochs)
         error = observed - self.target
         if abs(error) <= self._deadband * self.target:
+            self.deadband_holds += 1
             return self.weight
+        step = 1.0 + min(self._gain - 1.0, abs(error) / self.target)
+        if self._max_step is not None and step > self._max_step:
+            step = self._max_step
         current = self._registry.get(self.qos_id)
         if error < 0:
-            new_weight = min(current.weight * self._gain, self._max_weight)
+            new_weight = min(current.weight * step, self._max_weight)
         else:
-            new_weight = max(current.weight / self._gain, self._min_weight)
+            new_weight = max(current.weight / step, self._min_weight)
         if new_weight != current.weight:
             self._registry.define_class(
                 self.qos_id, current.name, new_weight, l3_ways=current.l3_ways

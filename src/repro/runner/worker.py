@@ -110,6 +110,10 @@ def execute_spec(spec: "Any", warm_start_dir: str | None = None) -> dict[str, An
     fastpath = _fastpath_delta(fp_before, accel.fastpath_stats())
     if fastpath is not None:
         outcome["fastpath"] = fastpath
+    # Result objects that expose a structured document (the arena) ship
+    # it through the cache so reports can be merged without re-running.
+    if hasattr(result, "metrics"):
+        outcome["metrics"] = result.metrics()
     return outcome
 
 

@@ -66,6 +66,12 @@ class System:
     ) -> None:
         if not workloads:
             raise ValueError("need at least one core running a workload")
+        # The mechanism is resolved first so machine-level mechanisms can
+        # rewrite the config before anything is built from it (the static
+        # bandwidth partition scales DRAM timings here).  The base class
+        # returns the config unchanged.
+        self.mechanism = mechanism if mechanism is not None else QoSMechanism()
+        config = self.mechanism.prepare_config(config, registry)
         for core_id in workloads:
             if not 0 <= core_id < config.cores:
                 raise ValueError(f"core {core_id} outside config.cores={config.cores}")
@@ -87,7 +93,6 @@ class System:
         self.hierarchy = CacheHierarchy(
             config, self.address_map, self._build_partition(), seed=seed
         )
-        self.mechanism = mechanism if mechanism is not None else QoSMechanism()
         # hot-path bindings: these run once per demand access / response
         self._l2s = self.hierarchy.l2s
         self._decode = self.address_map.decode

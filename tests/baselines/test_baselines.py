@@ -4,9 +4,13 @@ import pytest
 
 from repro.baselines.none import NoQosMechanism
 from repro.baselines.source_only import SourceOnlyMechanism
-from repro.baselines.static_partition import static_partition_config
+from repro.baselines.static_partition import (
+    StaticPartitionMechanism,
+    static_partition_config,
+)
 from repro.baselines.target_only import TargetOnlyMechanism
 from repro.core.config import PabstConfig
+from repro.mechanisms import make_mechanism
 from repro.qos.classes import QoSRegistry
 from repro.sim.config import SystemConfig
 from repro.sim.records import AccessType, MemoryRequest
@@ -14,8 +18,8 @@ from repro.sim.system import System
 from repro.workloads.stream import StreamWorkload
 
 
-def make_system(mechanism):
-    config = SystemConfig.small_test()
+def make_system(mechanism, config=None):
+    config = config or SystemConfig.small_test()
     registry = QoSRegistry()
     registry.define_class(0, "a", weight=1)
     registry.define_class(1, "b", weight=1)
@@ -81,6 +85,73 @@ class TestStaticPartition:
         base = SystemConfig.default_experiment()
         assert static_partition_config(base, 1).peak_bandwidth == base.peak_bandwidth
 
+    def test_identity_preserves_every_timing(self):
+        base = SystemConfig.default_experiment()
+        assert static_partition_config(base, 1).dram == base.dram
+
+    def test_all_timings_stretch_by_the_divisor(self):
+        base = SystemConfig.default_experiment()
+        for divisor in (2, 3, 8):
+            scaled = static_partition_config(base, divisor).dram
+            assert scaled.t_rcd == base.dram.t_rcd * divisor
+            assert scaled.t_cl == base.dram.t_cl * divisor
+            assert scaled.t_rp == base.dram.t_rp * divisor
+            assert scaled.t_burst == base.dram.t_burst * divisor
+
+    def test_bandwidth_scales_one_over_n(self):
+        base = SystemConfig.default_experiment()
+        for divisor in (2, 3, 8):
+            scaled = static_partition_config(base, divisor)
+            assert scaled.peak_bandwidth == pytest.approx(
+                base.peak_bandwidth / divisor
+            )
+
     def test_validation(self):
         with pytest.raises(ValueError):
             static_partition_config(SystemConfig(), 0)
+
+    def test_mechanism_validation(self):
+        with pytest.raises(ValueError):
+            StaticPartitionMechanism(share_divisor=0)
+
+    def test_mechanism_rewrites_the_config(self):
+        mechanism = StaticPartitionMechanism(share_divisor=2)
+        system = make_system(mechanism)
+        base = SystemConfig.small_test()
+        assert system.config.dram == base.dram.frequency_scaled(2)
+
+    def test_mechanism_defaults_to_class_count(self):
+        system = make_system(StaticPartitionMechanism())
+        base = SystemConfig.small_test()
+        assert system.config.dram == base.dram.frequency_scaled(2)
+
+
+class TestMechanismWrapperEquivalence:
+    """Each baseline's mechanism object reproduces its config/ctor path
+    byte-for-byte (same per-epoch stats records)."""
+
+    def run_epochs(self, system, epochs=6):
+        system.run_epochs(epochs)
+        system.finalize()
+        return system.stats.epochs
+
+    def test_static_partition_object_matches_config_path(self):
+        scaled = static_partition_config(SystemConfig.small_test(), 2)
+        via_config = self.run_epochs(make_system(None, config=scaled))
+        via_object = self.run_epochs(
+            make_system(StaticPartitionMechanism(share_divisor=2))
+        )
+        assert via_object == via_config
+
+    @pytest.mark.parametrize(
+        "name, ctor",
+        [
+            ("none", NoQosMechanism),
+            ("source-only", SourceOnlyMechanism),
+            ("target-only", TargetOnlyMechanism),
+        ],
+    )
+    def test_registry_object_matches_direct_construction(self, name, ctor):
+        via_registry = self.run_epochs(make_system(make_mechanism(name)))
+        via_ctor = self.run_epochs(make_system(ctor()))
+        assert via_registry == via_ctor

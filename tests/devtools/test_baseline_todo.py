@@ -1,0 +1,148 @@
+"""Tests for placeholder-justification handling in the lint baseline."""
+
+import pytest
+
+from repro.devtools.baseline import (
+    Baseline,
+    PLACEHOLDER_JUSTIFICATION,
+    is_placeholder,
+)
+from repro.devtools.lint import Diagnostic, main
+from repro.obs.warnings import reset_warning_counters, warning_counts
+
+
+def diag(path="src/repro/sim/x.py", code="DET003", message="wall clock"):
+    return Diagnostic(path=path, line=5, col=0, code=code, message=message)
+
+
+BAD_SOURCE = (
+    "import time\n"
+    "\n"
+    "\n"
+    "def stamp():\n"
+    "    return time.time()\n"
+)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A src/repro-shaped tree with one DET003 finding."""
+    package = tmp_path / "src" / "repro" / "sim"
+    package.mkdir(parents=True)
+    (package / "bad.py").write_text(BAD_SOURCE, encoding="utf-8")
+    return tmp_path
+
+
+class TestIsPlaceholder:
+    def test_placeholder_forms(self):
+        assert is_placeholder(PLACEHOLDER_JUSTIFICATION)
+        assert is_placeholder("")
+        assert is_placeholder("   ")
+        assert is_placeholder("todo later")
+        assert not is_placeholder("hash() keys a non-deterministic cache")
+
+
+class TestFromDiagnostics:
+    def test_defaults_to_placeholder(self):
+        baseline = Baseline.from_diagnostics([diag()])
+        assert baseline.entries[0].justification == PLACEHOLDER_JUSTIFICATION
+        assert len(baseline.placeholder_entries()) == 1
+
+    def test_carries_reviewed_justifications_forward(self):
+        previous = Baseline.from_diagnostics([diag()])
+        object.__setattr__(
+            previous.entries[0], "justification", "reviewed: benign"
+        )
+        rebuilt = Baseline.from_diagnostics(
+            [diag()], justifications=previous.justifications()
+        )
+        assert rebuilt.entries[0].justification == "reviewed: benign"
+        assert not rebuilt.placeholder_entries()
+
+    def test_justifications_skips_placeholders(self):
+        baseline = Baseline.from_diagnostics([diag()])
+        assert baseline.justifications() == {}
+
+
+class TestUpdateBaselineCli:
+    def run_lint(self, tree, *extra):
+        import os
+
+        cwd = os.getcwd()
+        os.chdir(tree)
+        try:
+            return main(
+                ["src", "--no-whole-program", "--baseline", "bl.json", *extra]
+            )
+        finally:
+            os.chdir(cwd)
+
+    def test_refuses_new_placeholders_without_accept_todo(
+        self, tree, capsys
+    ):
+        assert self.run_lint(tree, "--update-baseline") == 2
+        assert not (tree / "bl.json").exists()
+        assert "refusing" in capsys.readouterr().err
+
+    def test_accept_todo_writes_with_warning(self, tree, capsys):
+        assert self.run_lint(tree, "--update-baseline", "--accept-todo") == 0
+        assert (tree / "bl.json").exists()
+        captured = capsys.readouterr()
+        assert "placeholder justifications" in captured.err
+        baseline = Baseline.load(tree / "bl.json")
+        assert len(baseline.placeholder_entries()) == 1
+
+    def test_load_warns_on_placeholder_entries(self, tree, capsys):
+        self.run_lint(tree, "--update-baseline", "--accept-todo")
+        capsys.readouterr()
+        reset_warning_counters()
+        assert self.run_lint(tree) == 0  # finding suppressed
+        assert warning_counts().get("lint.baseline_todo") == 1
+        assert "placeholder justification" in capsys.readouterr().err
+
+    def test_reviewed_baseline_loads_silently(self, tree, capsys):
+        self.run_lint(tree, "--update-baseline", "--accept-todo")
+        baseline = Baseline.load(tree / "bl.json")
+        entries = [
+            type(entry)(
+                path=entry.path,
+                code=entry.code,
+                message=entry.message,
+                line=entry.line,
+                justification="reviewed: test fixture",
+            )
+            for entry in baseline.entries
+        ]
+        Baseline(entries).save(tree / "bl.json")
+        capsys.readouterr()
+        reset_warning_counters()
+        assert self.run_lint(tree) == 0
+        assert "placeholder" not in capsys.readouterr().err
+        assert "lint.baseline_todo" not in warning_counts()
+
+    def test_update_preserves_reviewed_justifications(self, tree):
+        self.run_lint(tree, "--update-baseline", "--accept-todo")
+        baseline = Baseline.load(tree / "bl.json")
+        entries = [
+            type(entry)(
+                path=entry.path,
+                code=entry.code,
+                message=entry.message,
+                line=entry.line,
+                justification="reviewed: kept on purpose",
+            )
+            for entry in baseline.entries
+        ]
+        Baseline(entries).save(tree / "bl.json")
+        # re-update: the reviewed text must survive, no --accept-todo needed
+        assert self.run_lint(tree, "--update-baseline") == 0
+        reloaded = Baseline.load(tree / "bl.json")
+        assert reloaded.entries[0].justification == "reviewed: kept on purpose"
+
+
+class TestRepoBaselineIsReviewed:
+    def test_committed_baseline_has_no_placeholders(self):
+        """The repo's own baseline must never regress to TODO stubs."""
+        baseline = Baseline.load("LINT_BASELINE.json")
+        assert baseline.entries, "expected the committed baseline to load"
+        assert baseline.placeholder_entries() == []

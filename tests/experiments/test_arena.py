@@ -1,0 +1,144 @@
+"""Tests for the head-to-head mechanism arena."""
+
+import json
+
+import pytest
+
+from repro.experiments import arena
+from repro.mechanisms import ALL_MECHANISMS
+
+
+class TestMatrix:
+    def test_default_matrix_is_big_enough(self):
+        """The arena's contract: >= 4 distinct mechanisms over >= 3
+        scenarios by default."""
+        assert len(ALL_MECHANISMS) >= 4
+        assert len(arena.SCENARIOS) >= 3
+        cells = arena.sweep_cells()
+        assert len(cells) == len(ALL_MECHANISMS) * len(arena.SCENARIOS)
+        seen = {
+            (cell["scenarios"][0], cell["mechanisms"][0]) for cell in cells
+        }
+        assert len(seen) == len(cells)
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            arena.run(quick=True, scenarios=("nope",))
+
+
+class TestDocument:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return arena.run(
+            quick=True,
+            mechanisms=("none", "pabst", "dpq", "perbank"),
+            scenarios=("stream",),
+        )
+
+    def test_schema_validates(self, result):
+        assert arena.validate_report(result.metrics()) == 4
+
+    def test_json_round_trip_is_lossless(self, result):
+        document = result.metrics()
+        assert json.loads(json.dumps(document)) == document
+
+    def test_wcet_mechanisms_report_bounds(self, result):
+        by_mechanism = {
+            cell["mechanism"]: cell for cell in result.metrics()["cells"]
+        }
+        assert by_mechanism["none"]["bound"] is None
+        assert by_mechanism["dpq"]["bound"]["ok"] is True
+        assert by_mechanism["perbank"]["bound"]["ok"] is True
+
+    def test_pabst_wins_proportionality(self, result):
+        """The paper's headline, visible in the arena: PABST's hi-class
+        share lands near the 3:1 entitlement while laissez-faire does
+        not."""
+        by_mechanism = {
+            cell["mechanism"]: cell for cell in result.metrics()["cells"]
+        }
+        assert by_mechanism["pabst"]["allocation_error"] < 0.2
+        assert by_mechanism["none"]["allocation_error"] > 0.5
+
+    def test_latency_percentiles_ordered(self, result):
+        for cell in result.metrics()["cells"]:
+            for stats in cell["read_latency"].values():
+                assert stats["count"] > 0
+                assert (
+                    stats["p50"] <= stats["p95"] <= stats["p99"]
+                    <= stats["max"]
+                )
+
+    def test_report_renders_every_mechanism(self, result):
+        text = result.report()
+        for name in ("none", "pabst", "dpq", "perbank"):
+            assert name in text
+        assert "Arena - scenario 'stream'" in text
+
+    def test_repeat_run_is_byte_identical(self, result):
+        again = arena.run(
+            quick=True,
+            mechanisms=("none", "pabst", "dpq", "perbank"),
+            scenarios=("stream",),
+        )
+        assert again.metrics() == result.metrics()
+        assert again.report() == result.report()
+
+
+class TestMerge:
+    def test_merge_matches_monolithic_run(self):
+        merged = arena.merge_documents(
+            [
+                arena.run(
+                    quick=True, mechanisms=(m,), scenarios=("stream",)
+                ).metrics()
+                for m in ("dpq", "none")  # deliberately out of order
+            ]
+        )
+        monolithic = arena.run(
+            quick=True, mechanisms=("none", "dpq"), scenarios=("stream",)
+        ).metrics()
+        assert merged == monolithic
+
+    def test_merge_rejects_mixed_runs(self):
+        document = arena.run(
+            quick=True, mechanisms=("none",), scenarios=("stream",)
+        ).metrics()
+        other = dict(document, seed=1)
+        with pytest.raises(ValueError, match="mixed"):
+            arena.merge_documents([document, other])
+        with pytest.raises(ValueError, match="schema"):
+            arena.merge_documents([dict(document, schema="bogus")])
+        with pytest.raises(ValueError, match="nothing to merge"):
+            arena.merge_documents([])
+
+
+class TestValidation:
+    def make_document(self):
+        return arena.run(
+            quick=True, mechanisms=("none",), scenarios=("stream",)
+        ).metrics()
+
+    def test_rejects_wrong_schema(self):
+        document = self.make_document()
+        document["schema"] = "repro.arena/v0"
+        with pytest.raises(ValueError, match="schema"):
+            arena.validate_report(document)
+
+    def test_rejects_missing_cell_field(self):
+        document = self.make_document()
+        del document["cells"][0]["utilization"]
+        with pytest.raises(ValueError, match="utilization"):
+            arena.validate_report(document)
+
+    def test_rejects_negative_counter(self):
+        document = self.make_document()
+        document["cells"][0]["counters"]["epochs"] = -1
+        with pytest.raises(ValueError, match="epochs"):
+            arena.validate_report(document)
+
+    def test_rejects_malformed_bound(self):
+        document = self.make_document()
+        document["cells"][0]["bound"] = {"ok": True}
+        with pytest.raises(ValueError, match="bound"):
+            arena.validate_report(document)

@@ -76,6 +76,58 @@ class TestControlLoop:
             policy.update()
         assert policy.adjustments == 0  # huge deadband: never adjusts
 
+    def test_slew_limit_damps_oscillation(self):
+        """Regression for the full-gain oscillation: alternating noisy
+        windows just outside the deadband used to swing the weight by
+        the whole gain every update.  The slew-limited step scales with
+        the error, so the same noise barely moves the weight."""
+        system, registry = make_system()
+        target = 0.5
+        policy = BandwidthTargetPolicy(
+            registry, system.bandwidth_monitor, qos_id=0,
+            target_utilization=target, gain=1.25, deadband=0.02,
+        )
+        start = policy.weight
+        # 3% alternating noise: outside the 2% deadband, tiny error
+        for cycle in range(10):
+            observed = target * (1.03 if cycle % 2 else 0.97)
+            policy.update(observed=observed)
+        # old behaviour: each update multiplied/divided by the full 1.25
+        # gain; one excess step either way leaves a >= 25% excursion.
+        assert abs(policy.weight - start) / start < 0.10
+        assert policy.adjustments == 10
+
+    def test_max_step_caps_the_applied_step(self):
+        system, registry = make_system()
+        policy = BandwidthTargetPolicy(
+            registry, system.bandwidth_monitor, qos_id=0,
+            target_utilization=0.5, gain=2.0, max_step=1.05,
+        )
+        start = policy.weight
+        policy.update(observed=0.0)  # huge error, slew would allow 2.0x
+        assert policy.weight == pytest.approx(start * 1.05)
+        with pytest.raises(ValueError):
+            BandwidthTargetPolicy(
+                registry, system.bandwidth_monitor, 0, 0.5, max_step=1.0
+            )
+
+    def test_every_update_is_accounted(self):
+        """Regression for the adjustments undercount: deadband re-entries
+        used to vanish from the books.  Now adjustments +
+        deadband_holds == calls, always."""
+        system, registry = make_system()
+        target = 0.5
+        policy = BandwidthTargetPolicy(
+            registry, system.bandwidth_monitor, qos_id=0,
+            target_utilization=target, deadband=0.05,
+        )
+        # in, out, back in the deadband
+        for observed in (target, target * 1.2, target, target, target * 0.8):
+            policy.update(observed=observed)
+        assert policy.adjustments == 2
+        assert policy.deadband_holds == 3
+        assert policy.adjustments + policy.deadband_holds == 5
+
     def test_weight_clamped(self):
         system, registry = make_system()
         policy = BandwidthTargetPolicy(

@@ -109,6 +109,19 @@ class TestSpecHash:
         again = RunSpec.from_payload(spec.to_payload())
         assert again.spec_hash() == spec.spec_hash()
 
+    def test_hash_changes_with_cell_mechanism(self):
+        """Arena cells carry the mechanism name in the cell, so two
+        head-to-heads differing only in mechanism must never share a
+        cache entry."""
+        hashes = {
+            RunSpec(
+                figure="arena",
+                cell={"scenarios": ("stream",), "mechanisms": (name,)},
+            ).spec_hash()
+            for name in ("pabst", "dpq", "perbank", "none")
+        }
+        assert len(hashes) == 4
+
 
 class TestSpecsForFigure:
     def test_fig07_quick_grid_has_six_cells(self):

@@ -30,6 +30,7 @@ class TestParser:
         assert set(EXPERIMENTS) == {
             "fig01", "fig05", "fig06", "fig07", "fig08",
             "fig09", "fig10", "fig11", "fig12", "soc256",
+            "arena",
         }
 
 
